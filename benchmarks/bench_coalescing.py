@@ -1,0 +1,53 @@
+"""Section 3.2: write coalescing makes data-heavy workloads tractable.
+
+The paper's example: a 1 KiB file write is 128 8-byte stores — 2^128 crash
+states if each store were tracked individually.  Function-level logging plus
+the data-write coalescing heuristic collapse it to a handful of replay
+units.  This bench measures actual crash-state counts for growing write
+sizes, with and without coalescing, against the theoretical per-store count.
+"""
+
+from conftest import print_table, run_once
+
+from repro.core import Chipmunk, ChipmunkConfig
+from repro.fs.bugs import BugConfig
+from repro.workloads.ops import Op
+
+
+def _count_states(write_size: int, coalesce_threshold: int) -> int:
+    cm = Chipmunk(
+        "nova",
+        bugs=BugConfig.fixed(),
+        config=ChipmunkConfig(cap=None, coalesce_threshold=coalesce_threshold),
+    )
+    result = cm.test_workload(
+        [Op("creat", ("/f",)), Op("write", ("/f", 0, 0x41, write_size))]
+    )
+    return result.n_crash_states
+
+
+def _run():
+    rows = []
+    for size in (256, 512, 1024, 2048):
+        with_coalescing = _count_states(size, coalesce_threshold=256)
+        # Disable coalescing by making the threshold unreachably large; the
+        # function-level log entries are still whole memcpy calls.
+        without = _count_states(size, coalesce_threshold=1 << 30)
+        per_store_states = f"2^{size // 8}"
+        rows.append((size, per_store_states, without, with_coalescing))
+    return rows
+
+
+def test_coalescing_state_counts(benchmark):
+    rows = run_once(benchmark, _run)
+    print_table(
+        "Crash states for a single write (paper 3.2: 1 KiB = 2^128 "
+        "per-store states; function-level logging + coalescing -> a handful)",
+        ["write size", "per-store (theoretical)", "function-level only", "with coalescing"],
+        rows,
+    )
+    for size, _, without, with_c in rows:
+        assert with_c <= without
+        assert with_c < 64, f"coalesced count must stay small for {size}B writes"
+    # Bigger writes must not blow up the coalesced count.
+    assert rows[-1][3] <= rows[0][3] * 4

@@ -1,0 +1,90 @@
+"""Table 1 reproduction: the 23 unique bugs across five PM file systems.
+
+For every catalogue row, run Chipmunk against the file system with that bug
+enabled and record the detection and its consequence; ext4-DAX and XFS-DAX
+are swept with fsync-mode ACE workloads and must stay clean (the paper found
+zero bugs in them).  Prints the regenerated table next to the paper's
+consequence column.
+"""
+
+import itertools
+
+from conftest import chipmunk_for_bug, print_table, run_once
+
+from repro.analysis.bugdb import SHARED_PAIRS, TRIGGERS, unique_bug_count
+from repro.core import Chipmunk
+from repro.fs.bugs import BUG_REGISTRY, BugConfig
+from repro.workloads import ace
+
+
+def _detect_all():
+    rows = []
+    found_ids = set()
+    for bug_id, spec in sorted(BUG_REGISTRY.items()):
+        for fs_name in spec.filesystems:
+            cm = chipmunk_for_bug(fs_name, bug_id)
+            detection = None
+            for workload in TRIGGERS[bug_id]:
+                result = cm.test_workload(workload)
+                if result.buggy:
+                    detection = result.clusters[0].exemplar
+                    break
+            if detection is not None:
+                found_ids.add(bug_id)
+            rows.append(
+                (
+                    bug_id,
+                    fs_name,
+                    spec.consequence,
+                    detection.consequence.value if detection else "NOT FOUND",
+                    spec.bug_type,
+                    "fuzzer" if spec.fuzzer_only else "ACE",
+                    "yes" if detection else "NO",
+                )
+            )
+    return rows, found_ids
+
+
+def _sweep_weak_fs():
+    results = {}
+    for fs_name in ("ext4-dax", "xfs-dax"):
+        cm = Chipmunk(fs_name, bugs=BugConfig.fixed())
+        n_reports = 0
+        for w in itertools.islice(ace.generate(1, mode="fsync"), 0, None, 2):
+            n_reports += len(cm.test_workload(w.core, setup=w.setup).reports)
+        results[fs_name] = n_reports
+    return results
+
+
+def test_table1_bug_corpus(benchmark):
+    rows, found_ids = run_once(benchmark, _detect_all)
+    print_table(
+        "Table 1 — bugs found by Chipmunk (paper vs this reproduction)",
+        ["bug", "file system", "paper consequence", "measured consequence", "type", "generator", "found"],
+        rows,
+    )
+    per_fs = {}
+    for bug_id, fs_name, *_ in rows:
+        per_fs.setdefault(fs_name, set()).add(bug_id)
+    print_table(
+        "Bugs per file system (paper: NOVA 8, NOVA-Fortis 12, PMFS 4, WineFS 4, SplitFS 5)",
+        ["file system", "bugs"],
+        [(fs, len(ids)) for fs, ids in sorted(per_fs.items())],
+    )
+    shared = {b for pair in SHARED_PAIRS for b in pair}
+    unique_found = len(found_ids) - sum(
+        1 for a, b in SHARED_PAIRS if a in found_ids and b in found_ids
+    )
+    print(f"unique bugs found: {unique_found} (paper: {unique_bug_count()})")
+    assert found_ids == set(BUG_REGISTRY), "every catalogue bug must be detected"
+    assert unique_found == unique_bug_count() == 23
+
+
+def test_table1_weak_fs_clean(benchmark):
+    results = run_once(benchmark, _sweep_weak_fs)
+    print_table(
+        "ext4-DAX / XFS-DAX (paper section 4.4: zero crash-consistency bugs)",
+        ["file system", "reports over ACE seq-1 (fsync mode)"],
+        sorted(results.items()),
+    )
+    assert all(count == 0 for count in results.values())

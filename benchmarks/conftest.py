@@ -1,0 +1,59 @@
+"""Shared helpers for the reproduction benches.
+
+Every bench regenerates one of the paper's tables or figures and prints it
+(run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables).
+The heavy experiment body runs inside the ``benchmark`` fixture so the
+pytest-benchmark machinery records its runtime.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import Chipmunk, ChipmunkConfig
+from repro.fs.bugs import BugConfig
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render an aligned text table (the bench's "figure")."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print()
+    print("=" * len(title))
+    print(title)
+    print("=" * len(title))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    print()
+
+
+def run_once(benchmark, func):
+    """Execute ``func`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def chipmunk_for_bug(fs_name: str, bug_id: int, cap: Optional[int] = 2) -> Chipmunk:
+    return Chipmunk(
+        fs_name, bugs=BugConfig.only(bug_id), config=ChipmunkConfig(cap=cap)
+    )
+
+
+def time_to_find(chipmunk, workloads, max_workloads: int) -> Tuple[Optional[float], int]:
+    """CPU time and workload count until the first bug report (None if not
+    found within the budget)."""
+    start = time.perf_counter()
+    for count, w in enumerate(workloads, 1):
+        if count > max_workloads:
+            return None, count - 1
+        setup = getattr(w, "setup", ())
+        core = getattr(w, "core", w)
+        if chipmunk.test_workload(core, setup=setup).buggy:
+            return time.perf_counter() - start, count
+    return None, max_workloads

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""ACE campaign: systematically test a file system with seq-1 and seq-2.
+
+The paper's lightweight development-time workflow (Lesson 3): run the
+bounded-exhaustive ACE workloads against a file system and triage whatever
+falls out.  Points Chipmunk at the PMFS-like file system with all of its
+Table-1 bugs enabled — the state of the system as the paper tested it.
+
+Run:  python examples/ace_campaign.py [fs-name] [max-seq2-workloads]
+"""
+
+import itertools
+import sys
+import time
+
+from repro.core import Chipmunk
+from repro.core.triage import Triage
+from repro.fs.bugs import BugConfig
+from repro.workloads import ace
+
+
+def main() -> None:
+    fs_name = sys.argv[1] if len(sys.argv) > 1 else "pmfs"
+    seq2_budget = int(sys.argv[2]) if len(sys.argv) > 2 else 400
+
+    chipmunk = Chipmunk(fs_name, bugs=BugConfig.buggy(fs_name))
+    triage = Triage()
+    tested = states = 0
+    start = time.perf_counter()
+
+    print(f"=== ACE seq-1: all {ace.count(1)} workloads on {fs_name} ===")
+    for workload in ace.generate(1):
+        result = chipmunk.test_workload(workload.core, setup=workload.setup)
+        tested += 1
+        states += result.n_crash_states
+        triage.add_all(result.reports)
+
+    print(f"seq-1 done: {tested} workloads, {states} crash states, "
+          f"{len(triage.clusters)} clusters, "
+          f"{time.perf_counter() - start:.1f}s")
+
+    print(f"\n=== ACE seq-2: first {seq2_budget} of {ace.count(2)} ===")
+    for workload in itertools.islice(ace.generate(2), seq2_budget):
+        result = chipmunk.test_workload(workload.core, setup=workload.setup)
+        tested += 1
+        states += result.n_crash_states
+        triage.add_all(result.reports)
+
+    elapsed = time.perf_counter() - start
+    print(f"\ncampaign: {tested} workloads, {states} crash states, "
+          f"{elapsed:.1f}s ({tested / elapsed:.0f} workloads/s)")
+    print(f"\n=== {len(triage.clusters)} triaged bug cluster(s) ===\n")
+    for cluster in triage.clusters:
+        print(cluster.describe())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Chipmunk reproduction: crash-consistency testing for PM file systems.
+
+This package reproduces "Chipmunk: Investigating Crash-Consistency in
+Persistent-Memory File Systems" (EuroSys '23): a simulated persistent-memory
+substrate, six PM file systems carrying the paper's 23 bug mechanisms, and
+the Chipmunk record-and-replay testing framework with ACE and fuzzer
+workload generators.
+"""
+
+__version__ = "1.0.0"

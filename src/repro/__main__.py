@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list-bugs``
+    Print the Table-1 bug catalogue.
+``test``
+    Run one workload through Chipmunk against a file system.
+``ace``
+    Run an ACE campaign (seq-1 and optionally seq-2) against a file system.
+``fuzz``
+    Run the gray-box fuzzer against a file system for a time budget.
+
+Examples
+--------
+
+::
+
+    python -m repro list-bugs
+    python -m repro test nova --bugs 4 --op "mkdir /A" --op "creat /foo" \
+        --op "rename /foo /A/bar"
+    python -m repro ace pmfs --seq 2 --max-workloads 500
+    python -m repro fuzz winefs --seconds 30 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import sys
+import time
+from typing import List
+
+from repro.core import Chipmunk, ChipmunkConfig
+from repro.core.triage import Triage
+from repro.fs.bugs import BUG_REGISTRY, BugConfig
+from repro.fs.registry import FS_CLASSES
+from repro.workloads import ace
+from repro.workloads.fuzzer import WorkloadFuzzer
+from repro.workloads.ops import Op
+
+
+def _parse_op(text: str) -> Op:
+    """Parse ``"write /foo 0 65 512"``-style op specifications."""
+    parts = text.split()
+    if not parts:
+        raise argparse.ArgumentTypeError("empty operation")
+    name, args = parts[0], parts[1:]
+    converted = tuple(int(a) if a.lstrip("-").isdigit() else a for a in args)
+    return Op(name, converted)
+
+
+def _bug_config(fs_name: str, bug_ids: List[int], fixed: bool) -> BugConfig:
+    if fixed:
+        return BugConfig.fixed()
+    if bug_ids:
+        return BugConfig.only(*bug_ids)
+    return BugConfig.buggy(fs_name)
+
+
+def cmd_list_bugs(_args) -> int:
+    print(f"{'id':>3}  {'file systems':<20} {'type':<6} consequence")
+    print("-" * 78)
+    for bug_id, spec in sorted(BUG_REGISTRY.items()):
+        print(
+            f"{bug_id:>3}  {','.join(spec.filesystems):<20} "
+            f"{spec.bug_type:<6} {spec.consequence}"
+        )
+    return 0
+
+
+def cmd_test(args) -> int:
+    chipmunk = Chipmunk(
+        args.fs,
+        bugs=_bug_config(args.fs, args.bugs, args.fixed),
+        config=ChipmunkConfig(cap=args.cap),
+    )
+    result = chipmunk.test_workload(args.op or [Op("creat", ("/probe",))])
+    print(result.summary())
+    for cluster in result.clusters:
+        print()
+        print(cluster.describe())
+    return 1 if result.buggy else 0
+
+
+def cmd_ace(args) -> int:
+    chipmunk = Chipmunk(
+        args.fs,
+        bugs=_bug_config(args.fs, args.bugs, args.fixed),
+        config=ChipmunkConfig(cap=args.cap),
+    )
+    mode = "pm" if FS_CLASSES()[args.fs].strong_guarantees else "fsync"
+    triage = Triage()
+    tested = states = 0
+    start = time.perf_counter()
+    for seq in range(1, args.seq + 1):
+        workloads = ace.generate(seq, mode=mode)
+        if args.max_workloads:
+            workloads = itertools.islice(workloads, args.max_workloads)
+        for w in workloads:
+            result = chipmunk.test_workload(w.core, setup=w.setup)
+            tested += 1
+            states += result.n_crash_states
+            triage.add_all(result.reports)
+    elapsed = time.perf_counter() - start
+    print(
+        f"{tested} workloads, {states} crash states, "
+        f"{len(triage.clusters)} clusters, {elapsed:.1f}s"
+    )
+    for cluster in triage.clusters:
+        print()
+        print(cluster.describe())
+    return 1 if triage.clusters else 0
+
+
+def cmd_fuzz(args) -> int:
+    chipmunk = Chipmunk(
+        args.fs,
+        bugs=_bug_config(args.fs, args.bugs, args.fixed),
+        config=ChipmunkConfig(cap=args.cap),
+    )
+    fuzzer = WorkloadFuzzer(chipmunk, seed=args.seed)
+    stats = fuzzer.run(time_budget=args.seconds)
+    print(
+        f"{stats.executions} executions, {stats.crash_states} crash states, "
+        f"coverage {stats.coverage_points}, corpus {stats.corpus_size}, "
+        f"{stats.clusters} clusters, {stats.elapsed:.1f}s"
+    )
+    for cluster in fuzzer.clusters:
+        print()
+        print(cluster.describe())
+    return 1 if stats.clusters else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Chipmunk reproduction: crash-consistency testing for "
+        "simulated PM file systems.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-bugs", help="print the Table-1 bug catalogue")
+
+    def add_common(p):
+        p.add_argument("fs", choices=sorted(FS_CLASSES()), help="file system")
+        p.add_argument(
+            "--bugs",
+            type=int,
+            nargs="*",
+            default=[],
+            help="enable only these bug ids (default: all of the FS's bugs)",
+        )
+        p.add_argument(
+            "--fixed", action="store_true", help="run the fully fixed variant"
+        )
+        p.add_argument("--cap", type=int, default=2, help="replay cap (default 2)")
+
+    p_test = sub.add_parser("test", help="test one workload")
+    add_common(p_test)
+    p_test.add_argument(
+        "--op",
+        type=_parse_op,
+        action="append",
+        help='operation, e.g. "write /foo 0 65 512" (repeatable)',
+    )
+
+    p_ace = sub.add_parser("ace", help="run an ACE campaign")
+    add_common(p_ace)
+    p_ace.add_argument("--seq", type=int, default=1, choices=(1, 2, 3))
+    p_ace.add_argument("--max-workloads", type=int, default=0)
+
+    p_fuzz = sub.add_parser("fuzz", help="run the gray-box fuzzer")
+    add_common(p_fuzz)
+    p_fuzz.add_argument("--seconds", type=float, default=30.0)
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-bugs": cmd_list_bugs,
+        "test": cmd_test,
+        "ace": cmd_ace,
+        "fuzz": cmd_fuzz,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Bug catalogue analysis: Table 1 rows, Table 2 observations, trigger sets."""
+
+from repro.analysis.bugdb import (
+    SHARED_PAIRS,
+    paper_table1_rows,
+    unique_bug_count,
+)
+from repro.analysis.observations import PAPER_OBSERVATIONS, Observation
+
+__all__ = [
+    "SHARED_PAIRS",
+    "unique_bug_count",
+    "paper_table1_rows",
+    "PAPER_OBSERVATIONS",
+    "Observation",
+]

@@ -1,0 +1,101 @@
+"""Table-1 bug catalogue helpers.
+
+The machine-readable catalogue lives in :mod:`repro.fs.bugs` (the file
+systems import their flags from there); this module adds the paper-level
+bookkeeping: shared-fix pairs, unique counts, and workloads known to trigger
+each bug (used by the Table-1 and Figure-3 benches).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.fs.bugs import BUG_REGISTRY, BugSpec
+from repro.workloads.ops import Op
+
+#: Bug rows that are one shared fix across PMFS and WineFS ("Two bugs are
+#: found in both WineFS and PMFS for a total of 25", section 4.4).
+SHARED_PAIRS: Tuple[Tuple[int, int], ...] = ((14, 15), (17, 18))
+
+
+def unique_bug_count() -> int:
+    """Unique fixes (the paper's 23) from the 25 catalogue rows."""
+    return len(BUG_REGISTRY) - len(SHARED_PAIRS)
+
+
+def canonical_bug_id(bug_id: int) -> int:
+    """Map shared-pair members to their canonical (lower) id."""
+    for a, b in SHARED_PAIRS:
+        if bug_id == b:
+            return a
+    return bug_id
+
+
+def paper_table1_rows() -> List[BugSpec]:
+    """All catalogue rows in paper order."""
+    return [BUG_REGISTRY[i] for i in sorted(BUG_REGISTRY)]
+
+
+def bugs_by_fs() -> Dict[str, List[int]]:
+    out: Dict[str, List[int]] = {}
+    for spec in BUG_REGISTRY.values():
+        for fs in spec.filesystems:
+            out.setdefault(fs, []).append(spec.bug_id)
+    return {fs: sorted(ids) for fs, ids in out.items()}
+
+
+# ---------------------------------------------------------------------------
+# Known trigger workloads.  These are ACE-shaped (aligned, short) for the
+# ACE-findable bugs and unaligned/fuzzer-shaped for the four fuzzer-only
+# bugs; the benches use them for detection and cap experiments.
+# ---------------------------------------------------------------------------
+
+
+def _w(*ops: Op) -> List[Op]:
+    return list(ops)
+
+
+def _c(path: str) -> Op:
+    return Op("creat", (path,))
+
+
+def _wr(path: str, offset: int, fill: int, length: int) -> Op:
+    return Op("write", (path, offset, fill, length))
+
+
+TRIGGERS: Dict[int, List[List[Op]]] = {
+    1: [_w(_c("/a"), _c("/b"), _c("/d"), _c("/e"), _c("/f"))],
+    2: [_w(_c("/foo")), _w(Op("mkdir", ("/A",)))],
+    3: [
+        _w(_c("/foo"), _wr("/foo", 0, 0x41, 512)),
+        _w(_c("/foo"), Op("unlink", ("/foo",))),
+    ],
+    4: [_w(Op("mkdir", ("/A",)), _c("/foo"), Op("rename", ("/foo", "/A/bar")))],
+    5: [_w(_c("/foo"), Op("rename", ("/foo", "/bar")))],
+    6: [_w(_c("/foo"), Op("link", ("/foo", "/bar")))],
+    7: [_w(_c("/foo"), _wr("/foo", 0, 0x41, 1000), Op("truncate", ("/foo", 500)))],
+    8: [_w(_c("/foo"), _wr("/foo", 0, 0x42, 600), Op("fallocate", ("/foo", 500, 600)))],
+    9: [
+        _w(_c("/foo"), Op("unlink", ("/foo",))),
+        _w(_c("/foo"), _wr("/foo", 0, 0x41, 512), Op("truncate", ("/foo", 100))),
+    ],
+    10: [_w(_c("/foo"), _wr("/foo", 0, 0x41, 512), Op("unlink", ("/foo",)))],
+    11: [_w(_c("/foo"), _wr("/foo", 0, 0x41, 1500), Op("truncate", ("/foo", 100)))],
+    12: [_w(_c("/foo"), _wr("/foo", 0, 0x41, 1000), Op("truncate", ("/foo", 500)))],
+    13: [
+        _w(_c("/foo"), _wr("/foo", 0, 0x41, 1000), Op("truncate", ("/foo", 100))),
+        _w(_c("/foo"), _wr("/foo", 0, 0x41, 512), Op("unlink", ("/foo",))),
+    ],
+    14: [_w(_c("/foo"), _wr("/foo", 0, 0x41, 512))],
+    15: [_w(_c("/foo"), _wr("/foo", 0, 0x41, 512))],
+    16: [_w(_c("/foo"), _c("/bar"))],
+    17: [_w(_c("/foo"), _wr("/foo", 0, 0x41, 512), _wr("/foo", 0, 0x42, 30))],
+    18: [_w(_c("/foo"), _wr("/foo", 0, 0x41, 512), _wr("/foo", 0, 0x42, 30))],
+    19: [_w(_c("/foo"), _c("/bar"), _c("/baz"))],
+    20: [_w(_c("/foo"), _wr("/foo", 0, 0x41, 1536), _wr("/foo", 100, 0x42, 900))],
+    21: [_w(_c("/foo"), Op("mkdir", ("/A",)))],
+    22: [_w(_c("/foo"), _wr("/foo", 0, 0x41, 512))],
+    23: [_w(_c("/foo"), _wr("/foo", 0, 0x41, 515))],
+    24: [_w(_c("/foo"), _c("/bar"))],
+    25: [_w(_c("/foo"), Op("rename", ("/foo", "/bar")))],
+}

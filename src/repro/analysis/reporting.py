@@ -1,0 +1,107 @@
+"""Campaign reporting: render triaged findings as a markdown document.
+
+The paper's Figure 1 ends in "bug reports with enough detail to reproduce
+the bug"; this module is the last-mile formatting — a campaign summary a
+developer can file upstream, with one section per triaged cluster including
+the workload, the crash point, and the divergence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.harness import TestResult
+from repro.core.triage import Cluster, Triage
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregated outcome of a testing campaign."""
+
+    fs_name: str
+    generator: str
+    workloads_tested: int = 0
+    crash_states: int = 0
+    unique_states: int = 0
+    wall_time: float = 0.0
+    triage: Triage = field(default_factory=Triage)
+    #: workload index at which each cluster was first seen
+    first_seen: Dict[int, int] = field(default_factory=dict)
+
+    def add_result(self, result: TestResult) -> None:
+        self.workloads_tested += 1
+        self.crash_states += result.n_crash_states
+        self.unique_states += result.n_unique_states
+        self.wall_time += result.elapsed
+        before = len(self.triage.clusters)
+        self.triage.add_all(result.reports)
+        for index in range(before, len(self.triage.clusters)):
+            self.first_seen[index] = self.workloads_tested
+
+    @property
+    def clusters(self) -> List[Cluster]:
+        return self.triage.clusters
+
+
+def run_campaign(chipmunk, workloads, generator: str = "ace") -> CampaignSummary:
+    """Run a batch of workloads and aggregate a :class:`CampaignSummary`.
+
+    ``workloads`` may yield plain op lists or ACE workloads (with ``setup``
+    and ``core`` attributes).
+    """
+    summary = CampaignSummary(fs_name=chipmunk.fs_class.name, generator=generator)
+    for workload in workloads:
+        setup = getattr(workload, "setup", ())
+        core = getattr(workload, "core", workload)
+        summary.add_result(chipmunk.test_workload(core, setup=setup))
+    return summary
+
+
+def render_markdown(summary: CampaignSummary, title: Optional[str] = None) -> str:
+    """Render a campaign summary as a markdown report."""
+    lines: List[str] = []
+    lines.append(f"# {title or f'Crash-consistency report: {summary.fs_name}'}")
+    lines.append("")
+    lines.append(f"- **file system:** `{summary.fs_name}`")
+    lines.append(f"- **workload generator:** {summary.generator}")
+    lines.append(f"- **workloads tested:** {summary.workloads_tested}")
+    lines.append(
+        f"- **crash states:** {summary.crash_states} generated, "
+        f"{summary.unique_states} unique checked"
+    )
+    lines.append(f"- **wall time:** {summary.wall_time:.1f}s")
+    lines.append(f"- **findings:** {len(summary.clusters)} triaged cluster(s)")
+    lines.append("")
+    if not summary.clusters:
+        lines.append("No crash-consistency violations found.")
+        lines.append("")
+        return "\n".join(lines)
+    for index, cluster in enumerate(summary.clusters, 1):
+        exemplar = cluster.exemplar
+        lines.append(f"## Finding {index}: {exemplar.consequence.value}")
+        lines.append("")
+        lines.append(f"*{cluster.count} report(s) in this cluster; first seen at "
+                     f"workload #{summary.first_seen.get(index - 1, '?')}.*")
+        lines.append("")
+        lines.append("**Reproduction workload**")
+        lines.append("")
+        lines.append("```")
+        lines.append(exemplar.workload_desc)
+        lines.append("```")
+        lines.append("")
+        lines.append("**Crash point**")
+        lines.append("")
+        lines.append("```")
+        lines.append(exemplar.crash_desc)
+        lines.append("```")
+        lines.append("")
+        lines.append("**Observed divergence**")
+        lines.append("")
+        lines.append(exemplar.detail)
+        if exemplar.paths:
+            lines.append("")
+            lines.append(f"Affected paths: {', '.join(f'`{p}`' for p in exemplar.paths)}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Baseline testers used for comparison experiments."""
+
+from repro.baselines.crashmonkey import CrashMonkeyStyleTester
+
+__all__ = ["CrashMonkeyStyleTester"]

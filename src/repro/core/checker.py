@@ -1,0 +1,282 @@
+"""Consistency checking of crash states (paper section 3.3).
+
+For every crash state the checker:
+
+1. mounts the target file system on the image — failure to mount is itself
+   a finding (three Table-1 bugs make the file system unmountable);
+2. walks the tree — unreadable files/directories are findings;
+3. compares the tree against the oracle: a crash *during* syscall *i* must
+   match the syscall's pre- or post-state (atomicity, with a torn-write
+   envelope for file systems whose ``write`` is not atomic); a crash *after*
+   syscall *i* must match its post-state exactly (synchrony);
+4. runs a usability pass: create a probe file in every directory, then
+   delete every regular file.
+
+Each crash state is checked on its own copy of the image, so checker
+mutations never leak between states (the paper rolls back with an undo log;
+copies are the in-process equivalent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.oracle import OracleResult, TreeState
+from repro.core.replayer import CrashState
+from repro.core.report import BugReport, Consequence, diff_trees
+from repro.fs.common.alloc import AllocatorError
+from repro.pm.device import PMDevice, PMDeviceError
+from repro.vfs.errors import FsError
+from repro.vfs.interface import FileSystem, MountError
+from repro.vfs.types import FileType
+
+#: Operations checked with the torn-data envelope on file systems whose
+#: write path is not atomic ("the main exception is write", section 3.3).
+DATA_OPS = ("write", "pwrite", "append", "fallocate")
+
+PROBE_NAME = ".chk_probe"
+
+
+@dataclass
+class CheckerConfig:
+    usability_check: bool = True
+    max_diff_entries: int = 4
+
+
+class ConsistencyChecker:
+    """Checks crash states of one recorded workload against its oracle."""
+
+    def __init__(
+        self,
+        fs_class,
+        oracle: OracleResult,
+        workload_desc: str,
+        bugs=None,
+        config: Optional[CheckerConfig] = None,
+    ) -> None:
+        self.fs_class = fs_class
+        self.oracle = oracle
+        self.workload_desc = workload_desc
+        self.bugs = bugs
+        self.config = config or CheckerConfig()
+
+    # ------------------------------------------------------------------
+    def check(self, state: CrashState) -> List[BugReport]:
+        """Return every violation found in one crash state."""
+        device = PMDevice.from_snapshot(state.image)
+        try:
+            fs = self.fs_class.mount(device, bugs=self.bugs)
+        except MountError as exc:
+            return [self._report(state, Consequence.UNMOUNTABLE, str(exc))]
+        except (PMDeviceError, AllocatorError) as exc:
+            return [
+                self._report(
+                    state,
+                    Consequence.UNMOUNTABLE,
+                    f"mount crashed: {type(exc).__name__}: {exc}",
+                )
+            ]
+        reports: List[BugReport] = []
+        try:
+            crash_tree = fs.walk()
+        except FsError as exc:
+            reports.append(self._report(state, Consequence.UNREADABLE, str(exc)))
+            crash_tree = None
+        if crash_tree is not None:
+            reports.extend(self._check_semantics(state, crash_tree))
+            if self.config.usability_check:
+                reports.extend(self._check_usability(state, fs, crash_tree))
+        return reports
+
+    # ------------------------------------------------------------------
+    # Semantic comparison
+    # ------------------------------------------------------------------
+    def _check_semantics(self, state: CrashState, crash_tree: TreeState) -> List[BugReport]:
+        oracle = self.oracle
+        if state.mid_syscall and state.syscall is not None:
+            i = state.syscall
+            pre = oracle.pre_state(i)
+            if oracle.errnos[i] is not None:
+                # The syscall failed on the oracle; it must not have left
+                # any persistent effect.
+                if crash_tree == pre:
+                    return []
+                return [self._mismatch(state, crash_tree, pre, Consequence.ATOMICITY)]
+            post = oracle.post_state(i)
+            if crash_tree == pre or crash_tree == post:
+                return []
+            op_name = oracle.workload[i].name
+            if op_name in DATA_OPS and not self.fs_class.atomic_data_writes:
+                if self._within_data_envelope(crash_tree, pre, post):
+                    return []
+            return [self._atomicity_report(state, crash_tree, pre, post)]
+        # Post-syscall or final state: synchrony — exact match required.
+        if state.after_syscall < 0:
+            expected = oracle.states[0]
+        else:
+            expected = oracle.post_state(state.after_syscall)
+        if crash_tree == expected:
+            return []
+        consequence = (
+            Consequence.SYNCHRONY if state.after_syscall >= 0 else Consequence.STATE_MISMATCH
+        )
+        return [self._mismatch(state, crash_tree, expected, consequence)]
+
+    def _within_data_envelope(
+        self, crash: TreeState, pre: TreeState, post: TreeState
+    ) -> bool:
+        """Torn-write envelope for non-atomic data operations.
+
+        Paths untouched by the syscall must match the pre-state; the target
+        file's metadata must be the old or new version, and every content
+        byte must come from the old content, the new content, or be zero in
+        a region the operation extended.
+        """
+        changed = {p for p in set(pre) | set(post) if pre.get(p) != post.get(p)}
+        for path in set(crash) | set(pre):
+            if path in changed:
+                continue
+            if crash.get(path) != pre.get(path):
+                return False
+        for path in changed:
+            c = crash.get(path)
+            p0, p1 = pre.get(path), post.get(path)
+            if c is None or p1 is None:
+                return False
+            if c.ftype is not FileType.REGULAR:
+                return False
+            if c.nlink != p1.nlink or c.mode != p1.mode:
+                return False
+            sizes = {p1.size} | ({p0.size} if p0 is not None else set())
+            if c.size not in sizes:
+                return False
+            old = p0.content if p0 is not None and p0.content else b""
+            new = p1.content if p1.content else b""
+            content = c.content or b""
+            for i, byte in enumerate(content):
+                old_b = old[i] if i < len(old) else 0
+                new_b = new[i] if i < len(new) else 0
+                if byte not in (old_b, new_b, 0):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Report construction
+    # ------------------------------------------------------------------
+    def _atomicity_report(
+        self, state: CrashState, crash: TreeState, pre: TreeState, post: TreeState
+    ) -> BugReport:
+        """Classify an atomicity violation for a readable crash state."""
+        diffs_pre = diff_trees(crash, pre)
+        diffs_post = diff_trees(crash, post)
+        diffs = diffs_pre if len(diffs_pre) <= len(diffs_post) else diffs_post
+        consequence = Consequence.ATOMICITY
+        op = self.oracle.workload[state.syscall] if state.syscall is not None else None
+        detail_bits: List[str] = []
+        if op is not None and op.name == "rename":
+            old_path, new_path = op.args[0], op.args[1]
+            if old_path not in crash and new_path not in crash and old_path in pre:
+                detail_bits.append(
+                    f"rename atomicity broken: neither {old_path!r} nor "
+                    f"{new_path!r} exists (file disappears)"
+                )
+            elif old_path in crash and new_path in crash:
+                detail_bits.append(
+                    f"rename atomicity broken: old file {old_path!r} still "
+                    f"present alongside {new_path!r}"
+                )
+        if any(
+            d.kind == "differs" and "zeros" not in d.detail and "content" in d.detail
+            for d in diffs
+        ):
+            consequence = Consequence.DATA_LOSS
+        missing_data = [
+            d for d in diffs if d.kind == "differs" and "size" in d.detail
+        ]
+        if op is not None and op.name in DATA_OPS and (missing_data or not detail_bits):
+            consequence = Consequence.DATA_LOSS
+        detail_bits.extend(
+            d.describe() for d in diffs[: self.config.max_diff_entries]
+        )
+        return self._report(
+            state,
+            consequence,
+            f"matches neither pre nor post state of "
+            f"{op.describe() if op else '?'}: " + " | ".join(detail_bits),
+            paths=tuple(d.path for d in diffs[: self.config.max_diff_entries]),
+        )
+
+    def _mismatch(
+        self,
+        state: CrashState,
+        crash: TreeState,
+        expected: TreeState,
+        consequence: Consequence,
+    ) -> BugReport:
+        diffs = diff_trees(crash, expected)
+        detail = " | ".join(d.describe() for d in diffs[: self.config.max_diff_entries])
+        return self._report(
+            state,
+            consequence,
+            f"state after syscall #{state.after_syscall} diverges: {detail}",
+            paths=tuple(d.path for d in diffs[: self.config.max_diff_entries]),
+        )
+
+    def _report(
+        self,
+        state: CrashState,
+        consequence: Consequence,
+        detail: str,
+        paths: Tuple[str, ...] = (),
+    ) -> BugReport:
+        return BugReport(
+            fs_name=self.fs_class.name,
+            consequence=consequence,
+            workload_desc=self.workload_desc,
+            crash_desc=state.describe(),
+            detail=detail,
+            syscall=state.syscall,
+            syscall_name=state.syscall_name,
+            mid_syscall=state.mid_syscall,
+            n_replayed=state.n_replayed,
+            paths=paths,
+        )
+
+    # ------------------------------------------------------------------
+    # Usability pass
+    # ------------------------------------------------------------------
+    def _check_usability(
+        self, state: CrashState, fs: FileSystem, crash_tree: TreeState
+    ) -> List[BugReport]:
+        """Create a file in every directory, then delete every file."""
+        reports: List[BugReport] = []
+        dirs = [p for p, obs in crash_tree.items() if obs.ftype is FileType.DIRECTORY]
+        files = [p for p, obs in crash_tree.items() if obs.ftype is FileType.REGULAR]
+        for d in sorted(dirs):
+            probe = (d.rstrip("/") or "") + "/" + PROBE_NAME
+            try:
+                fs.creat(probe)
+                files.append(probe)
+            except FsError as exc:
+                reports.append(
+                    self._report(
+                        state,
+                        Consequence.USABILITY,
+                        f"cannot create a file in {d!r}: {exc}",
+                        paths=(d,),
+                    )
+                )
+        for f in sorted(files):
+            try:
+                fs.unlink(f)
+            except FsError as exc:
+                reports.append(
+                    self._report(
+                        state,
+                        Consequence.USABILITY,
+                        f"cannot delete {f!r}: {exc}",
+                        paths=(f,),
+                    )
+                )
+        return reports

@@ -1,0 +1,205 @@
+"""Chipmunk orchestration: record → replay → check (paper Figure 2).
+
+:class:`Chipmunk` runs one workload against one file system: it formats a
+device, attaches probes to the file system's persistence functions, executes
+the workload while recording the write log, runs the oracle, enumerates
+crash states, checks each, and triages the findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type, Union
+
+from repro.core.checker import CheckerConfig, ConsistencyChecker
+from repro.core.oracle import run_oracle
+from repro.core.probes import ProbeSet, probe_targets_of
+from repro.core.replayer import ReplayStats, enumerate_crash_states, inflight_histogram
+from repro.core.report import BugReport
+from repro.core.triage import Cluster, triage_reports
+from repro.fs.bugs import BugConfig
+from repro.fs.registry import fs_class as lookup_fs_class
+from repro.pm.device import PMDevice
+from repro.pm.log import PMLog
+from repro.vfs.interface import FileSystem
+from repro.workloads.ops import Op, Workload, describe_workload, execute_op
+
+
+@dataclass
+class ChipmunkConfig:
+    """Knobs of one testing campaign."""
+
+    device_size: int = 256 * 1024
+    #: Maximum in-flight write units replayed per crash state (None = all;
+    #: the paper finds 2 sufficient for every bug, section 5.1.2).
+    cap: Optional[int] = 2
+    #: NT stores at least this large coalesce as file-data writes.
+    coalesce_threshold: int = 256
+    usability_check: bool = True
+    #: Stop checking a workload after this many reports (the triage layer
+    #: dedups anyway; this bounds worst-case work on very buggy states).
+    max_reports_per_workload: int = 64
+    #: Override the crash-point strategy ("fence", "post", "fsync"); None
+    #: picks "fence" for strong-guarantee systems and "fsync" otherwise.
+    crash_points: Optional[str] = None
+
+
+@dataclass
+class TestResult:
+    """Outcome of testing one workload."""
+
+    workload_desc: str
+    reports: List[BugReport]
+    clusters: List[Cluster]
+    n_crash_states: int
+    n_unique_states: int
+    n_fences: int
+    log_length: int
+    inflight: Dict[str, List[int]]
+    elapsed: float
+    errnos: List[Optional[str]] = field(default_factory=list)
+
+    @property
+    def buggy(self) -> bool:
+        return bool(self.reports)
+
+    def summary(self) -> str:
+        head = (
+            f"workload [{self.workload_desc}]: {len(self.reports)} report(s) in "
+            f"{len(self.clusters)} cluster(s), {self.n_unique_states} unique of "
+            f"{self.n_crash_states} crash states, {self.n_fences} fences, "
+            f"{self.elapsed * 1000:.1f} ms"
+        )
+        if not self.clusters:
+            return head
+        return head + "\n" + "\n".join(
+            "  - " + c.exemplar.consequence.value + ": " + c.exemplar.detail[:120]
+            for c in self.clusters
+        )
+
+
+class Chipmunk:
+    """Crash-consistency tester for one file system configuration."""
+
+    def __init__(
+        self,
+        fs: Union[str, Type[FileSystem]],
+        bugs: Optional[BugConfig] = None,
+        config: Optional[ChipmunkConfig] = None,
+    ) -> None:
+        self.fs_class = lookup_fs_class(fs) if isinstance(fs, str) else fs
+        self.bugs = bugs if bugs is not None else BugConfig.buggy(self.fs_class.name)
+        self.config = config or ChipmunkConfig()
+
+    # ------------------------------------------------------------------
+    def record(self, workload: Workload, setup: Workload = (), coverage=None) -> tuple:
+        """Run the workload with probes attached; return (base, log, errnos).
+
+        ``setup`` operations run before recording starts (the ACE dependency
+        phase — crash states are only explored for the core workload, as in
+        CrashMonkey/ACE).  ``coverage`` optionally attaches a
+        :class:`~repro.workloads.coverage.CoverageMap` to the instance.
+        """
+        device = PMDevice(self.config.device_size)
+        fs = self.fs_class.mkfs(device, bugs=self.bugs)
+        for op in setup:
+            execute_op(fs, op)
+        if coverage is not None:
+            fs.coverage = coverage
+        base = device.snapshot()
+        log = PMLog()
+        probes = ProbeSet(log)
+        probes.attach(probe_targets_of(fs))
+        errnos: List[Optional[str]] = []
+        try:
+            for index, op in enumerate(workload):
+                log.syscall_begin(index, op.name, ", ".join(map(repr, op.args)))
+                errnos.append(execute_op(fs, op))
+                log.syscall_end()
+        finally:
+            probes.detach()
+        return base, log, errnos
+
+    def test_workload(
+        self, workload: Workload, setup: Workload = (), coverage=None
+    ) -> TestResult:
+        """Full pipeline for one workload."""
+        start = time.perf_counter()
+        workload = list(workload)
+        desc = describe_workload(workload)
+        base, log, errnos = self.record(workload, setup=setup, coverage=coverage)
+        oracle = run_oracle(
+            self.fs_class, workload, self.config.device_size, bugs=self.bugs,
+            setup=setup,
+        )
+        if errnos != oracle.errnos:
+            raise RuntimeError(
+                f"probed run and oracle disagree on syscall results: "
+                f"{errnos} vs {oracle.errnos} for [{desc}]"
+            )
+        checker = ConsistencyChecker(
+            self.fs_class,
+            oracle,
+            desc,
+            bugs=self.bugs,
+            config=CheckerConfig(usability_check=self.config.usability_check),
+        )
+        crash_points = self.config.crash_points or (
+            "fence" if self.fs_class.strong_guarantees else "fsync"
+        )
+        stats = ReplayStats()
+        seen: set = set()
+        reports: List[BugReport] = []
+        n_states = 0
+        for state in enumerate_crash_states(
+            base,
+            log,
+            cap=self.config.cap,
+            coalesce_threshold=self.config.coalesce_threshold,
+            crash_points=crash_points,
+            stats=stats,
+        ):
+            n_states += 1
+            key = (
+                hashlib.sha1(state.image).digest(),
+                state.syscall,
+                state.mid_syscall,
+                state.after_syscall,
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            reports.extend(checker.check(state))
+            if len(reports) >= self.config.max_reports_per_workload:
+                break
+        clusters = triage_reports(reports)
+        return TestResult(
+            workload_desc=desc,
+            reports=reports,
+            clusters=clusters,
+            n_crash_states=n_states,
+            n_unique_states=len(seen),
+            n_fences=stats.n_fences,
+            log_length=len(log),
+            inflight=inflight_histogram(log, self.config.coalesce_threshold),
+            elapsed=time.perf_counter() - start,
+            errnos=errnos,
+        )
+
+    # ------------------------------------------------------------------
+    def test_many(self, workloads: List[Workload], stop_after: Optional[int] = None):
+        """Test a batch of workloads, yielding (workload, TestResult).
+
+        ``stop_after`` stops the campaign once that many buggy workloads
+        have been seen (useful for time-to-first-bug measurements).
+        """
+        buggy = 0
+        for workload in workloads:
+            result = self.test_workload(workload)
+            yield workload, result
+            if result.buggy:
+                buggy += 1
+                if stop_after is not None and buggy >= stop_after:
+                    return

@@ -1,0 +1,110 @@
+"""Function-level interception of persistence functions.
+
+The real Chipmunk attaches Kprobes (kernel) and Uprobes (user space) to the
+names of each file system's centralized persistence functions, supplied by
+the developer (paper section 3.3).  Here the same contract holds: a
+:class:`ProbeSet` is given objects exposing ``persistence_function_names``
+and wraps exactly those methods at runtime, recording every call into a
+:class:`~repro.pm.log.PMLog`.  Nothing else about the file system is
+inspected — this is the gray-box boundary.
+
+Cache-line semantics are implemented at the probe: a flush call is logged as
+the full cache-line-aligned span it actually writes back, with the volatile
+image content captured at flush time, so replay sees exactly what the
+hardware would have persisted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Tuple
+
+from repro.pm.device import CACHE_LINE, PMDevice
+from repro.pm.log import PMLog
+from repro.pm.persistence import PersistenceOps, PersistenceSpec, get_spec
+
+
+class ProbeSet:
+    """Probes attached to one or more persistence-function providers.
+
+    SplitFS needs two providers probed at once (its user-space library via
+    Uprobes and its kernel component via Kprobes); the paper notes both are
+    used together in the same logging module.
+    """
+
+    def __init__(self, log: PMLog) -> None:
+        self.log = log
+        self._attached: List[Tuple[PersistenceOps, str]] = []
+
+    # ------------------------------------------------------------------
+    def attach(self, targets: Iterable[PersistenceOps]) -> None:
+        """Instrument every declared persistence function on ``targets``."""
+        if self._attached:
+            raise RuntimeError("probes already attached")
+        for ops in targets:
+            for name in ops.persistence_function_names:
+                spec = get_spec(ops, name)
+                wrapper = _make_handler(ops, name, spec, self.log)
+                # Shadow the class method with an instance attribute — the
+                # breakpoint-insertion analogue.
+                setattr(ops, name, wrapper)
+                self._attached.append((ops, name))
+
+    def detach(self) -> None:
+        """Remove every probe, restoring the original functions."""
+        for ops, name in self._attached:
+            try:
+                delattr(ops, name)
+            except AttributeError:
+                pass
+        self._attached.clear()
+
+    @property
+    def attached(self) -> bool:
+        return bool(self._attached)
+
+    def __enter__(self) -> "ProbeSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+
+def _make_handler(
+    ops: PersistenceOps, name: str, spec: PersistenceSpec, log: PMLog
+) -> Callable:
+    """Build the probe handler for one persistence function.
+
+    The handler runs the original function, then records what it persisted —
+    decoding the arguments with the function's :class:`PersistenceSpec`, the
+    way a Kprobes handler decodes registers.
+    """
+    original = getattr(type(ops), name).__get__(ops)
+    device: PMDevice = ops.device
+
+    def handler(*args, **kwargs):
+        result = original(*args, **kwargs)
+        if spec.kind == "fence":
+            log.fence(name)
+            return result
+        addr, length = spec.decode(args)
+        if length <= 0:
+            return result
+        if spec.kind == "flush":
+            start = (addr // CACHE_LINE) * CACHE_LINE
+            end = ((addr + length + CACHE_LINE - 1) // CACHE_LINE) * CACHE_LINE
+            end = min(end, device.size)
+            log.flush(start, device.read(start, end - start), name)
+        else:  # nt_store
+            log.nt_store(addr, device.read(addr, length), name)
+        return result
+
+    handler.__name__ = f"probed_{name}"
+    return handler
+
+
+def probe_targets_of(fs) -> List[PersistenceOps]:
+    """The persistence-function providers of a file system instance."""
+    targets = getattr(fs, "probe_targets", None)
+    if targets is None:
+        return [fs.ops]
+    return list(targets)

@@ -1,0 +1,265 @@
+"""Crash-state construction from the recorded write log.
+
+The replayer walks the log of flushes, non-temporal stores, and fences
+(paper section 3.3): writes accumulate in an *in-flight vector*; at each
+store fence it emits crash states by replaying subsets of the vector, in
+program order, on top of everything already persistent.  Subsets are
+enumerated in increasing size (Observation 7: most bugs need only one or two
+replayed writes) and can be capped.  Logically related data writes — large
+non-temporal stores to adjacent addresses within one syscall — are coalesced
+into single replay units, the heuristic that collapses the 2^128 states of a
+1 KiB file write into a handful.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.pm.log import Fence, Flush, NTStore, PMLog, SyscallBegin, SyscallEnd, WriteEntry
+
+#: NT stores at least this large are treated as file-data writes for
+#: coalescing (the paper's "non-temporal memcpy on a large buffer usually
+#: indicates a file data write" heuristic).
+DATA_WRITE_THRESHOLD = 256
+
+SYNC_SYSCALLS = ("fsync", "fdatasync", "sync")
+
+
+@dataclass(frozen=True)
+class CrashState:
+    """One possible post-crash device image plus its provenance."""
+
+    image: bytes
+    #: Index of the fence region the state was built in.
+    fence_index: int
+    #: Syscall during which the crash happened (None between syscalls).
+    syscall: Optional[int]
+    syscall_name: Optional[str]
+    #: True when the state replays a strict subset of the in-flight writes
+    #: (an interrupted operation); False for post-syscall synchrony states.
+    mid_syscall: bool
+    #: Index of the last fully completed syscall before the crash.
+    after_syscall: int
+    #: Human-readable description of the replayed subset.
+    subset_desc: Tuple[str, ...]
+    #: Number of in-flight write units replayed onto the persistent base.
+    n_replayed: int
+
+    def describe(self) -> str:
+        where = (
+            f"during syscall #{self.syscall} {self.syscall_name}"
+            if self.mid_syscall
+            else f"after syscall #{self.after_syscall}"
+        )
+        return (
+            f"crash {where} at fence {self.fence_index}, "
+            f"replaying {self.n_replayed} in-flight write(s): "
+            + "; ".join(self.subset_desc)
+        )
+
+
+def coalesce_units(inflight: Sequence[WriteEntry], threshold: int = DATA_WRITE_THRESHOLD) -> List[List[WriteEntry]]:
+    """Group the in-flight vector into replay units.
+
+    Large NT stores that are address-contiguous with the previous large NT
+    store from the same syscall form one unit (a logically related file-data
+    write); everything else is its own unit.
+    """
+    units: List[List[WriteEntry]] = []
+    for entry in inflight:
+        is_data = isinstance(entry, NTStore) and entry.length >= threshold
+        if units and is_data:
+            last = units[-1][-1]
+            if (
+                isinstance(last, NTStore)
+                and last.length >= threshold
+                and last.syscall == entry.syscall
+                and last.addr + last.length == entry.addr
+            ):
+                units[-1].append(entry)
+                continue
+        units.append([entry])
+    return units
+
+
+def apply_entries(image: bytearray, entries: Sequence[WriteEntry]) -> None:
+    """Replay write entries onto an image, in program order."""
+    for entry in entries:
+        image[entry.addr : entry.addr + len(entry.data)] = entry.data
+
+
+@dataclass
+class ReplayStats:
+    """Aggregate statistics gathered while enumerating crash states."""
+
+    n_states: int = 0
+    n_fences: int = 0
+    max_inflight: int = 0
+    total_inflight: int = 0
+    #: in-flight unit count per fence region that had any writes
+    inflight_per_fence: List[int] = field(default_factory=list)
+    capped_regions: int = 0
+
+    @property
+    def avg_inflight(self) -> float:
+        if not self.inflight_per_fence:
+            return 0.0
+        return sum(self.inflight_per_fence) / len(self.inflight_per_fence)
+
+
+def enumerate_crash_states(
+    base_image: bytes,
+    log: PMLog,
+    cap: Optional[int] = 2,
+    coalesce_threshold: int = DATA_WRITE_THRESHOLD,
+    crash_points: str = "fence",
+    stats: Optional[ReplayStats] = None,
+    unit_ranker=None,
+) -> Iterator[CrashState]:
+    """Enumerate crash states for a recorded workload.
+
+    ``crash_points`` selects the strategy:
+
+    * ``"fence"`` — strong-guarantee systems: crash states during and after
+      every operation (Chipmunk's strategy);
+    * ``"post"`` — crash states only *between* syscalls (the
+      CrashMonkey-style baseline used to demonstrate Observation 5);
+    * ``"fsync"`` — weak-guarantee systems: states only after fsync-family
+      calls (CrashMonkey's actual strategy for traditional file systems).
+
+    ``cap`` limits how many in-flight write units are replayed per state
+    (the paper finds a cap of two exposes every bug; section 5.1.2).
+
+    ``unit_ranker`` optionally reorders the replay units before subset
+    enumeration (e.g. the Vinter-style recovery-read heuristic of
+    :mod:`repro.core.recovery_reads`) so that, under a budget, the most
+    interesting states are generated first.
+    """
+    if crash_points not in ("fence", "post", "fsync"):
+        raise ValueError(f"unknown crash_points mode {crash_points!r}")
+    persistent = bytearray(base_image)
+    inflight: List[WriteEntry] = []
+    in_syscall: Optional[int] = None
+    in_name: Optional[str] = None
+    completed = -1
+    fence_index = 0
+    if stats is None:
+        stats = ReplayStats()
+
+    def subset_states() -> Iterator[CrashState]:
+        units = coalesce_units(inflight, coalesce_threshold)
+        if unit_ranker is not None and len(units) > 1:
+            units = unit_ranker(units)
+        # Replay must always happen in program order, whatever order the
+        # ranker put the units in.
+        program_order = {id(e): i for i, e in enumerate(inflight)}
+        n = len(units)
+        if not n:
+            # Nothing in flight: the boundary state is already covered by
+            # the adjacent regions' subsets and the post-syscall states.
+            return
+        stats.max_inflight = max(stats.max_inflight, n)
+        stats.inflight_per_fence.append(n)
+        max_size = n - 1
+        if cap is not None and cap < max_size:
+            stats.capped_regions += 1
+            max_size = cap
+        for size in range(0, max_size + 1):
+            for combo in itertools.combinations(range(n), size):
+                image = bytearray(persistent)
+                chosen: List[WriteEntry] = []
+                for unit_index in combo:
+                    chosen.extend(units[unit_index])
+                chosen.sort(key=lambda e: program_order[id(e)])
+                apply_entries(image, chosen)
+                desc = tuple(e.describe() for e in chosen) or ("<none persisted>",)
+                stats.n_states += 1
+                yield CrashState(
+                    image=bytes(image),
+                    fence_index=fence_index,
+                    syscall=in_syscall,
+                    syscall_name=in_name,
+                    mid_syscall=in_syscall is not None,
+                    after_syscall=completed,
+                    subset_desc=desc,
+                    n_replayed=size,
+                )
+
+    for entry in log:
+        if isinstance(entry, SyscallBegin):
+            in_syscall, in_name = entry.index, entry.name
+        elif isinstance(entry, SyscallEnd):
+            completed = entry.index
+            emit = crash_points in ("fence", "post") or entry.name in SYNC_SYSCALLS
+            if emit:
+                # Synchrony crash point: the syscall has returned; anything
+                # still in flight is lost in the worst case.
+                stats.n_states += 1
+                yield CrashState(
+                    image=bytes(persistent),
+                    fence_index=fence_index,
+                    syscall=None,
+                    syscall_name=entry.name,
+                    mid_syscall=False,
+                    after_syscall=completed,
+                    subset_desc=("<post-syscall; in-flight writes lost>",)
+                    if inflight
+                    else ("<post-syscall>",),
+                    n_replayed=0,
+                )
+            in_syscall, in_name = None, None
+        elif isinstance(entry, Fence):
+            if crash_points == "fence":
+                yield from subset_states()
+            apply_entries(persistent, inflight)
+            inflight.clear()
+            fence_index += 1
+            stats.n_fences += 1
+        elif isinstance(entry, (NTStore, Flush)):
+            inflight.append(entry)
+
+    if crash_points == "fence":
+        yield from subset_states()
+    apply_entries(persistent, inflight)
+    if crash_points in ("fence", "post"):
+        # The final, fully persistent state: a crash after the workload
+        # ends.  The fsync-only policy has no crash point here — its last
+        # checkpoint is the workload's final sync call (CrashMonkey
+        # semantics).
+        stats.n_states += 1
+        yield CrashState(
+            image=bytes(persistent),
+            fence_index=fence_index,
+            syscall=None,
+            syscall_name=None,
+            mid_syscall=False,
+            after_syscall=completed,
+            subset_desc=("<final state>",),
+            n_replayed=0,
+        )
+
+
+def inflight_histogram(log: PMLog, threshold: int = DATA_WRITE_THRESHOLD) -> Dict[str, List[int]]:
+    """Per-syscall in-flight write-unit counts at each fence.
+
+    Used to reproduce the paper's observation that metadata operations keep
+    the in-flight set small (average 3, maximum 10 in the tested systems).
+    """
+    counts: Dict[str, List[int]] = {}
+    inflight: List[WriteEntry] = []
+    current: Optional[str] = None
+    for entry in log:
+        if isinstance(entry, SyscallBegin):
+            current = entry.name
+        elif isinstance(entry, SyscallEnd):
+            current = None
+        elif isinstance(entry, Fence):
+            if inflight and current is not None:
+                units = coalesce_units(inflight, threshold)
+                counts.setdefault(current, []).append(len(units))
+            inflight.clear()
+        elif isinstance(entry, (NTStore, Flush)):
+            inflight.append(entry)
+    return counts

@@ -1,0 +1,96 @@
+"""Bug reports.
+
+A report carries enough detail to reproduce the inconsistency: the workload,
+the crash point (fence index and replayed subset), the consequence class,
+and a diff against the legal states — the paper's "bug report with enough
+detail to reproduce the bug" (Figure 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+class Consequence(enum.Enum):
+    """Classification of what the crash state violated."""
+
+    UNMOUNTABLE = "file system unmountable"
+    ATOMICITY = "operation is not atomic"
+    SYNCHRONY = "operation is not synchronous"
+    UNREADABLE = "file or directory is unreadable"
+    DATA_LOSS = "file data lost"
+    USABILITY = "file system unusable (create/delete fails)"
+    STATE_MISMATCH = "unexpected post-crash state"
+
+
+@dataclass(frozen=True)
+class BugReport:
+    """One checker finding on one crash state."""
+
+    fs_name: str
+    consequence: Consequence
+    workload_desc: str
+    crash_desc: str
+    detail: str
+    syscall: Optional[int] = None
+    syscall_name: Optional[str] = None
+    mid_syscall: bool = False
+    n_replayed: int = 0
+    paths: Tuple[str, ...] = ()
+
+    def signature(self) -> str:
+        """Lexical signature used by the triage clustering."""
+        return " ".join(
+            [
+                self.fs_name,
+                self.consequence.value,
+                self.syscall_name or "none",
+                "mid" if self.mid_syscall else "post",
+                self.detail,
+            ]
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"BUG [{self.fs_name}] {self.consequence.value}",
+            f"  workload: {self.workload_desc}",
+            f"  crash:    {self.crash_desc}",
+            f"  detail:   {self.detail}",
+        ]
+        if self.paths:
+            lines.append(f"  paths:    {', '.join(self.paths)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class DiffEntry:
+    """One path-level difference between a crash state and an oracle state."""
+
+    path: str
+    kind: str  # "missing", "extra", "differs"
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.path}: {self.kind} ({self.detail})"
+
+
+def diff_trees(crash, oracle) -> List[DiffEntry]:
+    """Path-level differences between two tree observations."""
+    out: List[DiffEntry] = []
+    for path in sorted(set(crash) | set(oracle)):
+        in_crash, in_oracle = path in crash, path in oracle
+        if in_crash and not in_oracle:
+            out.append(DiffEntry(path, "extra", crash[path].describe()))
+        elif in_oracle and not in_crash:
+            out.append(DiffEntry(path, "missing", oracle[path].describe()))
+        elif crash[path] != oracle[path]:
+            out.append(
+                DiffEntry(
+                    path,
+                    "differs",
+                    f"crash={crash[path].describe()} expected={oracle[path].describe()}",
+                )
+            )
+    return out

@@ -1,0 +1,92 @@
+"""Bug-report triage by lexical similarity.
+
+Fuzzing produces floods of duplicate reports — multiple crash states trigger
+the same underlying bug.  The paper extends Syzkaller with "a simple
+triaging procedure that clusters bug reports by lexical similarity"
+(section 3.4.2); this module implements that procedure: reports whose
+token-set Jaccard similarity exceeds a threshold join the same cluster.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import FrozenSet, List
+
+from repro.core.report import BugReport
+
+_TOKEN = re.compile(r"[a-zA-Z_/.#]+")
+
+
+def tokenize(text: str) -> FrozenSet[str]:
+    """Lexical tokens of a report signature (numbers stripped — crash-state
+    indices and offsets should not separate duplicates)."""
+    return frozenset(t.lower() for t in _TOKEN.findall(text) if len(t) > 1)
+
+
+def jaccard(a: FrozenSet[str], b: FrozenSet[str]) -> float:
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass
+class Cluster:
+    """A group of lexically similar reports; the first is the exemplar."""
+
+    exemplar: BugReport
+    tokens: FrozenSet[str]
+    members: List[BugReport] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            self.members.append(self.exemplar)
+
+    @property
+    def count(self) -> int:
+        return len(self.members)
+
+    def describe(self) -> str:
+        return f"x{self.count} {self.exemplar.render()}"
+
+
+class Triage:
+    """Online clustering of bug reports."""
+
+    def __init__(self, threshold: float = 0.72) -> None:
+        self.threshold = threshold
+        self.clusters: List[Cluster] = []
+
+    def add(self, report: BugReport) -> Cluster:
+        """Insert a report, returning the cluster it joined (or founded)."""
+        tokens = tokenize(report.signature())
+        best: Cluster | None = None
+        best_score = 0.0
+        for cluster in self.clusters:
+            score = jaccard(tokens, cluster.tokens)
+            if score > best_score:
+                best, best_score = cluster, score
+        if best is not None and best_score >= self.threshold:
+            best.members.append(report)
+            return best
+        cluster = Cluster(exemplar=report, tokens=tokens)
+        self.clusters.append(cluster)
+        return cluster
+
+    def add_all(self, reports: List[BugReport]) -> None:
+        for report in reports:
+            self.add(report)
+
+    @property
+    def unique(self) -> List[BugReport]:
+        return [c.exemplar for c in self.clusters]
+
+    def summary(self) -> str:
+        return "\n\n".join(c.describe() for c in self.clusters)
+
+
+def triage_reports(reports: List[BugReport], threshold: float = 0.72) -> List[Cluster]:
+    """Cluster a batch of reports (convenience wrapper)."""
+    triage = Triage(threshold)
+    triage.add_all(reports)
+    return triage.clusters

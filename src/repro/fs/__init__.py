@@ -1,0 +1,29 @@
+"""Simulated persistent-memory file systems.
+
+Six file systems mirroring the paper's test targets (section 4.1):
+
+* :mod:`repro.fs.nova` — log-structured, per-inode logs + circular journal.
+* :mod:`repro.fs.novafortis` — NOVA plus inode replicas and checksums.
+* :mod:`repro.fs.pmfs` — in-place updates, undo journal, truncate list.
+* :mod:`repro.fs.winefs` — PMFS-family with per-CPU journals and strict mode.
+* :mod:`repro.fs.splitfs` — user-space op-log/staging over a kernel FS.
+* :mod:`repro.fs.ext4dax` — weak-guarantee journaling FS (ext4-DAX/XFS-DAX).
+
+Each Table-1 bug is implemented as an organic code path guarded by
+:class:`repro.fs.bugs.BugConfig`, so the buggy and fixed variants of every
+file system are both available.
+"""
+
+from repro.fs.bugs import ALL_BUG_IDS, BugConfig, BugSpec, BUG_REGISTRY, bugs_for_fs
+from repro.fs.registry import FS_CLASSES, fs_class, make_fs
+
+__all__ = [
+    "BugConfig",
+    "BugSpec",
+    "BUG_REGISTRY",
+    "ALL_BUG_IDS",
+    "bugs_for_fs",
+    "FS_CLASSES",
+    "fs_class",
+    "make_fs",
+]

@@ -1,0 +1,343 @@
+"""Bug catalogue and configuration (paper Table 1).
+
+Every crash-consistency bug Chipmunk found is implemented in this
+reproduction as an *organic* code path inside the relevant file system,
+guarded by a :class:`BugConfig` flag.  ``BugConfig.buggy(...)`` (everything
+on, the state of the systems as tested in the paper) and
+``BugConfig.fixed()`` (everything off, the post-fix state) are the two
+interesting corners; benches that measure fix overhead toggle single bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class BugSpec:
+    """One row of the paper's Table 1."""
+
+    bug_id: int
+    filesystems: Tuple[str, ...]
+    consequence: str
+    syscalls: Tuple[str, ...]
+    bug_type: str  # "logic" or "pm"
+    mechanism: str
+    #: True when ACE-shaped workloads cannot trigger the bug (section 4.3:
+    #: four bugs need workload shapes ACE omits, e.g. unaligned writes).
+    fuzzer_only: bool = False
+    #: True when exposing the bug requires a crash *during* a syscall
+    #: (Observation 5: 11 of 23 bugs).
+    needs_mid_syscall: bool = True
+    #: Minimum number of in-flight writes that must be replayed onto the
+    #: last persistent state to expose the bug (Observation 7).
+    min_replay_writes: int = 1
+
+
+#: Table 1, bug by bug.  ``syscalls`` uses the paper's names; ``write``
+#: covers both write and pwrite.
+BUG_REGISTRY: Dict[int, BugSpec] = {
+    spec.bug_id: spec
+    for spec in [
+        BugSpec(
+            1,
+            ("nova", "nova-fortis"),
+            "File system unmountable",
+            ("all",),
+            "logic",
+            "log-page chaining: next-page pointer and log tail persisted in one "
+            "fence epoch; a crash persisting only the tail leaves the log walk "
+            "pointing into an unlinked page",
+        ),
+        BugSpec(
+            2,
+            ("nova", "nova-fortis"),
+            "File is unreadable and undeletable",
+            ("mkdir", "creat"),
+            "pm",
+            "new inode slot initialized with cached stores and never flushed; "
+            "the dentry is persisted correctly, leaving a dangling name",
+            needs_mid_syscall=False,
+        ),
+        BugSpec(
+            3,
+            ("nova", "nova-fortis"),
+            "File system unmountable",
+            ("write", "pwrite", "link", "unlink", "rename"),
+            "logic",
+            "per-inode log_count validation field updated in place in the same "
+            "fence epoch as the log entry; recovery trusts the count and walks "
+            "into unwritten log space",
+        ),
+        BugSpec(
+            4,
+            ("nova", "nova-fortis"),
+            "Rename atomicity broken (file disappears)",
+            ("rename",),
+            "logic",
+            "cross-directory rename invalidates the old dentry in place before "
+            "the journaled transaction that adds the new dentry commits",
+        ),
+        BugSpec(
+            5,
+            ("nova", "nova-fortis"),
+            "Rename atomicity broken (old file still present)",
+            ("rename",),
+            "logic",
+            "same-directory rename commits the new dentry in a transaction and "
+            "invalidates the old dentry in place afterwards, outside it",
+        ),
+        BugSpec(
+            6,
+            ("nova", "nova-fortis"),
+            "Link count incremented before new file appears",
+            ("link",),
+            "logic",
+            "link commits the target's nlink log entry in place before the "
+            "journaled dentry-add transaction",
+        ),
+        BugSpec(
+            7,
+            ("nova", "nova-fortis"),
+            "File data lost",
+            ("truncate",),
+            "logic",
+            "shrinking truncate zeroes the truncated tail of the last data "
+            "block in the same fence epoch as (and hence possibly before) the "
+            "size-change log entry commit",
+        ),
+        BugSpec(
+            8,
+            ("nova", "nova-fortis"),
+            "File data lost",
+            ("fallocate",),
+            "logic",
+            "extending fallocate grows the previous write log entry in place "
+            "with two separately flushed field updates instead of appending a "
+            "new entry",
+        ),
+        BugSpec(
+            9,
+            ("nova-fortis",),
+            "Unreadable directory or file data loss",
+            ("unlink", "rmdir", "truncate"),
+            "pm",
+            "inode checksum recomputed after the update but the checksum store "
+            "is never flushed; verification fails after a crash",
+            needs_mid_syscall=False,
+        ),
+        BugSpec(
+            10,
+            ("nova-fortis",),
+            "File is undeletable",
+            ("write", "pwrite", "link", "rename"),
+            "logic",
+            "primary inode updated transactionally but the replica is synced in "
+            "a separate later epoch; a crash in between fails replica "
+            "verification on the next unlink",
+        ),
+        BugSpec(
+            11,
+            ("nova-fortis",),
+            "FS attempts to deallocate free blocks",
+            ("truncate",),
+            "logic",
+            "recovery replays the pending-truncate record after the log rebuild "
+            "already freed the same blocks, tripping the allocator double-free "
+            "assertion",
+        ),
+        BugSpec(
+            12,
+            ("nova-fortis",),
+            "File is unreadable",
+            ("truncate",),
+            "logic",
+            "shrinking truncate commits the new size without recomputing the "
+            "tail block's data checksum over the shorter verification length",
+            needs_mid_syscall=False,
+        ),
+        BugSpec(
+            13,
+            ("pmfs",),
+            "File system unmountable",
+            ("truncate", "unlink", "rmdir", "rename"),
+            "logic",
+            "truncate-list replay at mount dereferences the in-DRAM free list "
+            "before it has been rebuilt (null pointer dereference)",
+        ),
+        BugSpec(
+            14,
+            ("pmfs",),
+            "Write is not synchronous",
+            ("write", "pwrite"),
+            "pm",
+            "data copied with non-temporal stores after the metadata "
+            "transaction's final fence; the syscall returns with the data "
+            "still in flight",
+            needs_mid_syscall=False,
+        ),
+        BugSpec(
+            15,
+            ("winefs",),
+            "Write is not synchronous",
+            ("write", "pwrite"),
+            "pm",
+            "shared write-path code with PMFS: missing trailing store fence",
+            needs_mid_syscall=False,
+        ),
+        BugSpec(
+            16,
+            ("pmfs",),
+            "Out-of-bounds memory access",
+            ("all",),
+            "logic",
+            "journal replay trusts the persisted record count without bounds "
+            "checking; a torn journal header sends replay past the journal area",
+        ),
+        BugSpec(
+            17,
+            ("pmfs",),
+            "File data lost",
+            ("write", "pwrite"),
+            "pm",
+            "sub-cache-line writes round the flush length down, leaving the "
+            "tail cache line unflushed",
+            fuzzer_only=True,
+            needs_mid_syscall=False,
+        ),
+        BugSpec(
+            18,
+            ("winefs",),
+            "File data lost",
+            ("write", "pwrite"),
+            "pm",
+            "shared write-path code with PMFS: tail cache line never flushed "
+            "for unaligned writes",
+            fuzzer_only=True,
+            needs_mid_syscall=False,
+        ),
+        BugSpec(
+            19,
+            ("winefs",),
+            "File is unreadable and undeletable",
+            ("all",),
+            "logic",
+            "per-CPU journal recovery indexes the journal array with the wrong "
+            "stride, so transactions from CPUs other than 0 are never rolled "
+            "back",
+        ),
+        BugSpec(
+            20,
+            ("winefs",),
+            "Data write is not atomic in strict mode",
+            ("write", "pwrite"),
+            "logic",
+            "strict-mode copy-on-write publishes the new block pointers one "
+            "block at a time for unaligned writes, exposing partial data",
+            fuzzer_only=True,
+            min_replay_writes=1,
+        ),
+        BugSpec(
+            21,
+            ("splitfs",),
+            "Operation is not synchronous",
+            ("all-metadata",),
+            "logic",
+            "the metadata op-log entry is built and flushed but the fence is "
+            "deferred to the next operation",
+            needs_mid_syscall=False,
+        ),
+        BugSpec(
+            22,
+            ("splitfs",),
+            "File data lost",
+            ("write", "pwrite"),
+            "logic",
+            "staged data is relinked into the file before the op-log commit "
+            "record is persistent; a crash loses the log entry and the data",
+        ),
+        BugSpec(
+            23,
+            ("splitfs",),
+            "File data lost",
+            ("write", "pwrite"),
+            "logic",
+            "op-log replay computes the entry checksum over the padded length "
+            "rather than the recorded length and discards valid entries",
+            fuzzer_only=True,
+            needs_mid_syscall=False,
+        ),
+        BugSpec(
+            24,
+            ("splitfs",),
+            "Operation is not synchronous",
+            ("all",),
+            "logic",
+            "the op-log commit record is written with a cached store; the "
+            "fence executes but nothing was flushed",
+            needs_mid_syscall=False,
+        ),
+        BugSpec(
+            25,
+            ("splitfs",),
+            "Rename atomicity broken (old file still present)",
+            ("rename",),
+            "logic",
+            "rename is executed as logged-link-new then unlogged-unlink-old; "
+            "a crash between the two leaves both names",
+        ),
+    ]
+}
+
+ALL_BUG_IDS: FrozenSet[int] = frozenset(BUG_REGISTRY)
+
+
+def bugs_for_fs(fs_name: str) -> List[BugSpec]:
+    """All catalogue bugs present in the named file system."""
+    return [spec for spec in BUG_REGISTRY.values() if fs_name in spec.filesystems]
+
+
+@dataclass
+class BugConfig:
+    """Which catalogue bugs are compiled into a file-system instance."""
+
+    enabled: FrozenSet[int] = field(default_factory=frozenset)
+
+    @classmethod
+    def buggy(cls, fs_name: str | None = None) -> "BugConfig":
+        """All bugs on (optionally restricted to one file system's bugs)."""
+        if fs_name is None:
+            return cls(ALL_BUG_IDS)
+        return cls(frozenset(spec.bug_id for spec in bugs_for_fs(fs_name)))
+
+    @classmethod
+    def fixed(cls) -> "BugConfig":
+        """All bugs fixed."""
+        return cls(frozenset())
+
+    @classmethod
+    def only(cls, *bug_ids: int) -> "BugConfig":
+        """Exactly the given bugs enabled."""
+        unknown = set(bug_ids) - ALL_BUG_IDS
+        if unknown:
+            raise ValueError(f"unknown bug ids: {sorted(unknown)}")
+        return cls(frozenset(bug_ids))
+
+    def without(self, *bug_ids: int) -> "BugConfig":
+        """Copy with the given bugs fixed."""
+        return BugConfig(self.enabled - set(bug_ids))
+
+    def with_bugs(self, *bug_ids: int) -> "BugConfig":
+        """Copy with the given bugs additionally enabled."""
+        unknown = set(bug_ids) - ALL_BUG_IDS
+        if unknown:
+            raise ValueError(f"unknown bug ids: {sorted(unknown)}")
+        return BugConfig(self.enabled | set(bug_ids))
+
+    def has(self, bug_id: int) -> bool:
+        return bug_id in self.enabled
+
+
+def iter_specs(bug_ids: Iterable[int]) -> List[BugSpec]:
+    return [BUG_REGISTRY[b] for b in sorted(bug_ids)]

@@ -1,0 +1,26 @@
+"""Building blocks shared by the simulated file systems."""
+
+from repro.fs.common.layout import (
+    Region,
+    crc32,
+    read_u16,
+    read_u32,
+    read_u64,
+    u16,
+    u32,
+    u64,
+)
+from repro.fs.common.alloc import AllocatorError, BlockAllocator
+
+__all__ = [
+    "Region",
+    "u16",
+    "u32",
+    "u64",
+    "read_u16",
+    "read_u32",
+    "read_u64",
+    "crc32",
+    "BlockAllocator",
+    "AllocatorError",
+]

@@ -1,0 +1,133 @@
+"""Block allocators.
+
+PM file systems keep their free lists in DRAM for performance and rebuild
+them at mount (paper Observation 3) — exactly what :class:`BlockAllocator`
+models.  The allocator itself is volatile; persistence of allocation state is
+the file system's job (bitmaps for PMFS-family, log rebuild for NOVA-family).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.vfs.errors import ENOSPC
+
+
+class AllocatorError(Exception):
+    """Internal allocator invariant violation (e.g. double free).
+
+    NOVA-Fortis bug 11 manifests as this assertion firing during mount-time
+    recovery ("FS attempts to deallocate free blocks").
+    """
+
+
+class BlockAllocator:
+    """Volatile free-block tracker over a contiguous block range."""
+
+    def __init__(self, first_block: int, n_blocks: int) -> None:
+        self.first_block = first_block
+        self.n_blocks = n_blocks
+        self._free: Set[int] = set(range(first_block, first_block + n_blocks))
+
+    # ------------------------------------------------------------------
+    def mark_used(self, block: int) -> None:
+        """Record that ``block`` is in use (mount-time rebuild)."""
+        self._check(block)
+        self._free.discard(block)
+
+    def mark_used_many(self, blocks: Iterable[int]) -> None:
+        for block in blocks:
+            self.mark_used(block)
+
+    def alloc(self) -> int:
+        """Allocate one block (lowest-address-first for determinism)."""
+        if not self._free:
+            raise ENOSPC("out of data blocks")
+        block = min(self._free)
+        self._free.remove(block)
+        return block
+
+    def alloc_contiguous(self, count: int) -> List[int]:
+        """Allocate ``count`` consecutive blocks.
+
+        Falls back to raising :class:`ENOSPC` when no contiguous run exists;
+        callers that can split do so themselves.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        run: List[int] = []
+        for block in sorted(self._free):
+            if run and block != run[-1] + 1:
+                run = []
+            run.append(block)
+            if len(run) == count:
+                for b in run:
+                    self._free.remove(b)
+                return run
+        raise ENOSPC(f"no contiguous run of {count} blocks")
+
+    def alloc_many(self, count: int) -> List[int]:
+        """Allocate ``count`` blocks, contiguous when possible."""
+        try:
+            return self.alloc_contiguous(count)
+        except ENOSPC:
+            if len(self._free) < count:
+                raise
+            return [self.alloc() for _ in range(count)]
+
+    def free(self, block: int) -> None:
+        """Return ``block`` to the free set; double frees are fatal."""
+        self._check(block)
+        if block in self._free:
+            raise AllocatorError(f"double free of block {block}")
+        self._free.add(block)
+
+    def free_many(self, blocks: Iterable[int]) -> None:
+        for block in blocks:
+            self.free(block)
+
+    def is_free(self, block: int) -> bool:
+        self._check(block)
+        return block in self._free
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def _check(self, block: int) -> None:
+        if not (self.first_block <= block < self.first_block + self.n_blocks):
+            raise AllocatorError(
+                f"block {block} outside managed range "
+                f"[{self.first_block}, {self.first_block + self.n_blocks})"
+            )
+
+
+class SlotAllocator:
+    """Volatile allocator for fixed table slots (e.g. inode numbers)."""
+
+    def __init__(self, n_slots: int, reserved: Optional[Iterable[int]] = None) -> None:
+        self.n_slots = n_slots
+        self._free: Set[int] = set(range(n_slots))
+        for slot in reserved or ():
+            self._free.discard(slot)
+
+    def alloc(self) -> int:
+        if not self._free:
+            raise ENOSPC("out of inodes")
+        slot = min(self._free)
+        self._free.remove(slot)
+        return slot
+
+    def mark_used(self, slot: int) -> None:
+        self._free.discard(slot)
+
+    def free(self, slot: int) -> None:
+        if slot in self._free:
+            raise AllocatorError(f"double free of slot {slot}")
+        if not (0 <= slot < self.n_slots):
+            raise AllocatorError(f"slot {slot} out of range")
+        self._free.add(slot)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)

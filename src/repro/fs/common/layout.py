@@ -1,0 +1,91 @@
+"""On-PM layout helpers: little-endian integer codecs, regions, checksums."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+
+def u16(value: int) -> bytes:
+    return struct.pack("<H", value)
+
+
+def u32(value: int) -> bytes:
+    return struct.pack("<I", value)
+
+
+def u64(value: int) -> bytes:
+    return struct.pack("<Q", value)
+
+
+def read_u16(buf: bytes, offset: int = 0) -> int:
+    return struct.unpack_from("<H", buf, offset)[0]
+
+
+def read_u32(buf: bytes, offset: int = 0) -> int:
+    return struct.unpack_from("<I", buf, offset)[0]
+
+
+def read_u64(buf: bytes, offset: int = 0) -> int:
+    return struct.unpack_from("<Q", buf, offset)[0]
+
+
+def crc32(data: bytes) -> int:
+    """CRC32 checksum used by the Fortis-style resilience code."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def pad_to(data: bytes, size: int) -> bytes:
+    """Zero-pad ``data`` to exactly ``size`` bytes."""
+    if len(data) > size:
+        raise ValueError(f"data of {len(data)} bytes does not fit in {size}")
+    return data + b"\x00" * (size - len(data))
+
+
+def encode_name(name: str, size: int) -> bytes:
+    """Encode a file name into a fixed-size, NUL-padded field."""
+    raw = name.encode("utf-8")
+    if len(raw) >= size:
+        raise ValueError(f"name too long for {size}-byte field: {name!r}")
+    return pad_to(raw, size)
+
+
+def decode_name(field: bytes) -> str:
+    """Decode a NUL-padded name field."""
+    return field.split(b"\x00", 1)[0].decode("utf-8", errors="replace")
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous byte region of the PM device."""
+
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        return self.offset <= addr and addr + length <= self.end
+
+    def at(self, rel: int) -> int:
+        """Absolute address of relative offset ``rel`` within the region."""
+        if rel < 0 or rel > self.size:
+            raise ValueError(f"relative offset {rel} outside region of size {self.size}")
+        return self.offset + rel
+
+    def slot(self, index: int, slot_size: int) -> int:
+        """Absolute address of fixed-size slot ``index``."""
+        addr = self.offset + index * slot_size
+        if addr + slot_size > self.end:
+            raise ValueError(f"slot {index} (x{slot_size}) outside region")
+        return addr
+
+    @property
+    def nslots(self) -> int:
+        raise AttributeError("use slot_count(slot_size)")
+
+    def slot_count(self, slot_size: int) -> int:
+        return self.size // slot_size

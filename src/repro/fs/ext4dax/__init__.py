@@ -1,0 +1,5 @@
+"""ext4-DAX / XFS-DAX-like weak-guarantee journaling file systems."""
+
+from repro.fs.ext4dax.fs import Ext4DaxFS, Ext4DaxGeometry, XfsDaxFS
+
+__all__ = ["Ext4DaxFS", "XfsDaxFS", "Ext4DaxGeometry"]

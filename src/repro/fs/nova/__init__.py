@@ -1,0 +1,13 @@
+"""NOVA-like log-structured PM file system.
+
+Architecture (after Xu & Swanson, FAST '16): a fixed inode table, a per-inode
+metadata log (a chain of log pages), copy-on-write data blocks, and a small
+circular journal for transactions that span multiple inodes (creat, link,
+unlink, rename).  All DRAM state — the allocators, directory maps, and block
+maps — is rebuilt from the logs at mount (paper Observation 3).
+"""
+
+from repro.fs.nova.fs import NovaFS
+from repro.fs.nova.layout import NovaGeometry
+
+__all__ = ["NovaFS", "NovaGeometry"]

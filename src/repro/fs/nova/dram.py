@@ -1,0 +1,62 @@
+"""Volatile (DRAM) state of the NOVA-like file system.
+
+NOVA keeps allocators, directory maps, and file block maps in DRAM for
+performance and rebuilds them from the per-inode logs at mount — the
+recovery pattern paper Observation 3 identifies as a major bug source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class DramInode:
+    """In-memory image of one inode, derived from its persistent log."""
+
+    ino: int
+    ftype: int  # FTYPE_REG or FTYPE_DIR (layout constants)
+    mode: int
+    log_head: int
+    #: Committed entry count (mirror of the persistent commit pointer).
+    log_count: int = 0
+    #: Entries appended but not yet committed in the current operation.
+    pending: int = 0
+    #: Log page addresses in chain order.
+    pages: List[int] = field(default_factory=list)
+
+    # Regular-file state ----------------------------------------------------
+    size: int = 0
+    nlink: int = 0
+    #: file block index -> device block number
+    blockmap: Dict[int, int] = field(default_factory=dict)
+    #: Address of the last committed WRITE entry (for the in-place
+    #: fallocate extension path, bug 8).
+    last_write_addr: Optional[int] = None
+
+    # Directory state --------------------------------------------------------
+    #: name -> child ino
+    children: Dict[str, int] = field(default_factory=dict)
+    #: name -> on-PM address of the live DENTRY_ADD entry (for the in-place
+    #: invalidation paths, bugs 4 and 5).
+    dentry_addrs: Dict[str, int] = field(default_factory=dict)
+
+    #: Set when a dentry references this inode but its slot is invalid on PM
+    #: (the dangling-dentry consequence of bug 2).
+    corrupt: bool = False
+
+    @property
+    def next_index(self) -> int:
+        """Index at which the next appended entry will be placed."""
+        return self.log_count + self.pending
+
+    def mapped_blocks(self) -> List[int]:
+        return sorted(set(self.blockmap.values()))
+
+
+def make_corrupt_inode(ino: int) -> DramInode:
+    """Placeholder for an inode whose slot was lost in the crash (bug 2)."""
+    di = DramInode(ino=ino, ftype=0, mode=0, log_head=0)
+    di.corrupt = True
+    return di

@@ -1,0 +1,5 @@
+"""NOVA-Fortis-like fault-tolerant PM file system (NOVA + resilience)."""
+
+from repro.fs.novafortis.fs import FortisGeometry, NovaFortisFS
+
+__all__ = ["NovaFortisFS", "FortisGeometry"]

@@ -1,0 +1,14 @@
+"""PMFS-like in-place-update PM file system.
+
+Architecture (after Dulloor et al., EuroSys '14): a fixed inode table with
+direct block pointers, persistent block bitmap, an undo journal for metadata
+transactions, and a persistent truncate list that makes multi-step block
+freeing crash-recoverable.  Unlike NOVA there is no log: metadata is updated
+in place under the protection of the undo journal, and almost all state is
+read directly from PM (only the free lists live in DRAM).
+"""
+
+from repro.fs.pmfs.fs import PmfsFS
+from repro.fs.pmfs.layout import PmfsGeometry
+
+__all__ = ["PmfsFS", "PmfsGeometry"]

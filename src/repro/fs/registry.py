@@ -1,0 +1,65 @@
+"""Registry of the simulated file systems, keyed by the paper's names."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.fs.bugs import BugConfig
+from repro.pm.device import PMDevice
+from repro.vfs.interface import FileSystem
+
+#: Default device size used by the test harness and benches (bytes).
+DEFAULT_DEVICE_SIZE = 512 * 1024
+
+
+def _load_classes() -> Dict[str, Type[FileSystem]]:
+    # Imported lazily so partially built trees (and docs tooling) can import
+    # repro.fs without pulling in every file system.
+    from repro.fs.ext4dax.fs import Ext4DaxFS, XfsDaxFS
+    from repro.fs.nova.fs import NovaFS
+    from repro.fs.novafortis.fs import NovaFortisFS
+    from repro.fs.pmfs.fs import PmfsFS
+    from repro.fs.splitfs.fs import SplitFS
+    from repro.fs.winefs.fs import WineFS
+
+    return {
+        "nova": NovaFS,
+        "nova-fortis": NovaFortisFS,
+        "pmfs": PmfsFS,
+        "winefs": WineFS,
+        "splitfs": SplitFS,
+        "ext4-dax": Ext4DaxFS,
+        "xfs-dax": XfsDaxFS,
+    }
+
+
+_CLASSES: Optional[Dict[str, Type[FileSystem]]] = None
+
+
+def FS_CLASSES() -> Dict[str, Type[FileSystem]]:
+    """All registered file-system classes by name."""
+    global _CLASSES
+    if _CLASSES is None:
+        _CLASSES = _load_classes()
+    return dict(_CLASSES)
+
+
+def fs_class(name: str) -> Type[FileSystem]:
+    """Look up a file-system class by its paper name (e.g. ``"nova"``)."""
+    classes = FS_CLASSES()
+    if name not in classes:
+        raise KeyError(f"unknown file system {name!r}; known: {sorted(classes)}")
+    return classes[name]
+
+
+def make_fs(
+    name: str,
+    device_size: int = DEFAULT_DEVICE_SIZE,
+    bugs: Optional[BugConfig] = None,
+) -> FileSystem:
+    """Create a fresh formatted instance of the named file system."""
+    cls = fs_class(name)
+    device = PMDevice(device_size)
+    if bugs is None:
+        bugs = BugConfig.buggy(name)
+    return cls.mkfs(device, bugs=bugs)

@@ -1,0 +1,5 @@
+"""SplitFS-like hybrid user/kernel PM file system."""
+
+from repro.fs.splitfs.fs import SplitFS, SplitfsGeometry
+
+__all__ = ["SplitFS", "SplitfsGeometry"]

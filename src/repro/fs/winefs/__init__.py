@@ -1,0 +1,5 @@
+"""WineFS-like PM file system (PMFS family, per-CPU journals, strict mode)."""
+
+from repro.fs.winefs.fs import WineFS, WinefsGeometry
+
+__all__ = ["WineFS", "WinefsGeometry"]

@@ -1,0 +1,44 @@
+"""Simulated persistent-memory substrate.
+
+This package models the x86 epoch persistence model the paper describes in
+section 2: writes to PM flow through volatile CPU caches and become persistent
+only once they are flushed (``clwb``/``clflushopt``) or written with
+non-temporal stores, *and* a subsequent store fence has executed.  Everything
+Chipmunk does — logging persistence operations, constructing crash states from
+in-flight writes — is built on the primitives defined here.
+"""
+
+from repro.pm.device import ATOMIC_UNIT, CACHE_LINE, PMDevice
+from repro.pm.log import (
+    Fence,
+    Flush,
+    LogEntry,
+    NTStore,
+    PMLog,
+    SyscallBegin,
+    SyscallEnd,
+)
+from repro.pm.persistence import (
+    PersistenceOps,
+    PersistenceSpec,
+    persistence_function,
+)
+from repro.pm.costmodel import CostModel, OpCounters
+
+__all__ = [
+    "ATOMIC_UNIT",
+    "CACHE_LINE",
+    "PMDevice",
+    "PMLog",
+    "LogEntry",
+    "NTStore",
+    "Flush",
+    "Fence",
+    "SyscallBegin",
+    "SyscallEnd",
+    "PersistenceOps",
+    "PersistenceSpec",
+    "persistence_function",
+    "CostModel",
+    "OpCounters",
+]

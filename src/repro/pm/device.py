@@ -1,0 +1,130 @@
+"""Byte-addressable simulated persistent-memory device.
+
+The device holds the *volatile* view of PM: the contents as seen by the
+running CPU, including stores that are still sitting in caches.  Persistence
+is not tracked here — it is derived from the :class:`~repro.pm.log.PMLog` of
+persistence operations, exactly as Chipmunk derives crash states from its
+write log rather than from the live image.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: Cache-line size on the modelled platform (bytes).
+CACHE_LINE = 64
+
+#: Unit of write atomicity on Intel PM (bytes); an aligned 8-byte store is
+#: never torn by a crash.
+ATOMIC_UNIT = 8
+
+
+class PMDeviceError(Exception):
+    """Raised on out-of-range device accesses."""
+
+
+class PMDevice:
+    """A fixed-size byte-addressable persistent-memory device.
+
+    Parameters
+    ----------
+    size:
+        Device capacity in bytes.  Must be a positive multiple of the
+        cache-line size so flush ranges always stay in bounds.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0 or size % CACHE_LINE != 0:
+            raise PMDeviceError(
+                f"device size must be a positive multiple of {CACHE_LINE}, got {size}"
+            )
+        self.size = size
+        self.image = bytearray(size)
+        self._undo: List[Tuple[int, bytes]] | None = None
+
+    # ------------------------------------------------------------------
+    # Raw access
+    # ------------------------------------------------------------------
+    def check_range(self, addr: int, length: int) -> None:
+        """Validate that ``[addr, addr+length)`` lies inside the device."""
+        if addr < 0 or length < 0 or addr + length > self.size:
+            raise PMDeviceError(
+                f"access [{addr}, {addr + length}) outside device of size {self.size}"
+            )
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``addr`` from the volatile view."""
+        self.check_range(addr, length)
+        return bytes(self.image[addr : addr + length])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Store ``data`` at ``addr`` in the volatile view.
+
+        This corresponds to a CPU store: the running system observes it
+        immediately, but it is not persistent until logged persistence
+        operations make it so.
+        """
+        self.check_range(addr, len(data))
+        if self._undo is not None:
+            self._undo.append((addr, bytes(self.image[addr : addr + len(data)])))
+        self.image[addr : addr + len(data)] = data
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> bytes:
+        """Return an immutable copy of the full volatile image."""
+        return bytes(self.image)
+
+    def restore(self, snap: bytes) -> None:
+        """Replace the volatile image with a previously taken snapshot."""
+        if len(snap) != self.size:
+            raise PMDeviceError(
+                f"snapshot size {len(snap)} does not match device size {self.size}"
+            )
+        self.image = bytearray(snap)
+
+    @classmethod
+    def from_snapshot(cls, snap: bytes) -> "PMDevice":
+        """Build a new device whose image is a copy of ``snap``."""
+        dev = cls(len(snap))
+        dev.image = bytearray(snap)
+        return dev
+
+    # ------------------------------------------------------------------
+    # Undo log (used by the consistency checker, section 3.3: "we reuse our
+    # logging infrastructure to record an undo log for these mutations and
+    # roll back the changes when advancing to the next crash state").
+    # ------------------------------------------------------------------
+    def begin_undo(self) -> None:
+        """Start recording before-images for every subsequent write."""
+        if self._undo is not None:
+            raise PMDeviceError("undo log already active")
+        self._undo = []
+
+    def rollback_undo(self) -> None:
+        """Undo every write made since :meth:`begin_undo` and stop recording."""
+        if self._undo is None:
+            raise PMDeviceError("no undo log active")
+        records, self._undo = self._undo, None
+        for addr, before in reversed(records):
+            self.image[addr : addr + len(before)] = before
+
+    def discard_undo(self) -> None:
+        """Stop recording without rolling anything back."""
+        if self._undo is None:
+            raise PMDeviceError("no undo log active")
+        self._undo = None
+
+    @property
+    def undo_active(self) -> bool:
+        return self._undo is not None
+
+
+def cacheline_span(addr: int, length: int) -> range:
+    """Return the addresses of the cache lines overlapping a byte range."""
+    if length <= 0:
+        return range(0)
+    first = (addr // CACHE_LINE) * CACHE_LINE
+    last = ((addr + length - 1) // CACHE_LINE) * CACHE_LINE
+    return range(first, last + CACHE_LINE, CACHE_LINE)

@@ -1,0 +1,154 @@
+"""Write log recorded by Chipmunk's probes.
+
+The log is an ordered sequence of persistence operations (non-temporal
+stores, cache-line flushes, store fences) interleaved with syscall markers
+inserted by the test harness.  The replayer walks this log to construct crash
+states: everything before a fence is persistent, the writes after it form the
+in-flight vector (paper, section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Union
+
+
+@dataclass(frozen=True)
+class NTStore:
+    """A non-temporal store of ``data`` at ``addr``.
+
+    Non-temporal stores bypass the CPU caches; they become persistent at the
+    next store fence.  One logged entry covers the whole buffer written by a
+    single persistence-function call (function-level coalescing).
+    """
+
+    addr: int
+    data: bytes
+    func: str
+    syscall: Optional[int] = None
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    def describe(self) -> str:
+        return f"NT({self.func}) addr={self.addr:#x} len={len(self.data)}"
+
+
+@dataclass(frozen=True)
+class Flush:
+    """A cache-line write-back (``clwb``-style) of a dirty buffer.
+
+    ``data`` is the content of the flushed range at the time of the flush;
+    like an NT store it becomes persistent at the next store fence.
+    """
+
+    addr: int
+    data: bytes
+    func: str
+    syscall: Optional[int] = None
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    def describe(self) -> str:
+        return f"FLUSH({self.func}) addr={self.addr:#x} len={len(self.data)}"
+
+
+@dataclass(frozen=True)
+class Fence:
+    """A store fence (``sfence``): all prior NT stores/flushes are now durable."""
+
+    func: str = "sfence"
+    syscall: Optional[int] = None
+
+    def describe(self) -> str:
+        return "FENCE"
+
+
+@dataclass(frozen=True)
+class SyscallBegin:
+    """Marker inserted by the harness before it issues a syscall."""
+
+    index: int
+    name: str
+    args: str
+
+    def describe(self) -> str:
+        return f"SYSCALL_BEGIN #{self.index} {self.name}({self.args})"
+
+
+@dataclass(frozen=True)
+class SyscallEnd:
+    """Marker inserted by the harness after a syscall returns."""
+
+    index: int
+    name: str
+
+    def describe(self) -> str:
+        return f"SYSCALL_END #{self.index} {self.name}"
+
+
+WriteEntry = Union[NTStore, Flush]
+LogEntry = Union[NTStore, Flush, Fence, SyscallBegin, SyscallEnd]
+
+
+@dataclass
+class PMLog:
+    """Ordered log of persistence operations and syscall markers."""
+
+    entries: List[LogEntry] = field(default_factory=list)
+    #: Index of the syscall currently executing (None between syscalls).
+    current_syscall: Optional[int] = None
+    _current_name: Optional[str] = None
+
+    def append(self, entry: LogEntry) -> None:
+        self.entries.append(entry)
+
+    # Convenience appenders used by the probes and the harness -----------
+    def nt_store(self, addr: int, data: bytes, func: str) -> None:
+        self.append(NTStore(addr, bytes(data), func, self.current_syscall))
+
+    def flush(self, addr: int, data: bytes, func: str) -> None:
+        self.append(Flush(addr, bytes(data), func, self.current_syscall))
+
+    def fence(self, func: str = "sfence") -> None:
+        self.append(Fence(func, self.current_syscall))
+
+    def syscall_begin(self, index: int, name: str, args: str = "") -> None:
+        self.current_syscall = index
+        self._current_name = name
+        self.append(SyscallBegin(index, name, args))
+
+    def syscall_end(self) -> None:
+        if self.current_syscall is None:
+            raise ValueError("syscall_end without matching syscall_begin")
+        self.append(SyscallEnd(self.current_syscall, self._current_name or "?"))
+        self.current_syscall = None
+        self._current_name = None
+
+    # Introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self.entries)
+
+    def writes(self) -> List[WriteEntry]:
+        return [e for e in self.entries if isinstance(e, (NTStore, Flush))]
+
+    def fence_count(self) -> int:
+        return sum(1 for e in self.entries if isinstance(e, Fence))
+
+    def syscall_names(self) -> List[str]:
+        return [e.name for e in self.entries if isinstance(e, SyscallBegin)]
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.current_syscall = None
+        self._current_name = None
+
+    def describe(self) -> str:
+        """Human-readable dump, used in bug reports."""
+        return "\n".join(e.describe() for e in self.entries)

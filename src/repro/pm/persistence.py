@@ -1,0 +1,171 @@
+"""Centralized persistence functions.
+
+Every PM file system the paper studied funnels its durable writes through a
+small set of helper functions — non-temporal memcpy/memset, buffer flush, and
+store fence (section 3.2).  :class:`PersistenceOps` provides those helpers.
+File systems may subclass it and re-export the primitives under their own
+names (as NOVA does with ``memcpy_to_pmem_nocache``); Chipmunk's probes attach
+to whatever names the developer supplies, mirroring Kprobes.
+
+The raw methods below only mutate the device's volatile image and bump the
+operation counters.  They do **not** log anything: logging happens only when
+:mod:`repro.core.probes` wraps them, the same way an unprobed kernel function
+leaves no trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, TypeVar
+
+from repro.pm.costmodel import OpCounters
+from repro.pm.device import PMDevice
+
+F = TypeVar("F", bound=Callable)
+
+#: Attribute set by :func:`persistence_function` so the prober can discover
+#: the semantics of a named function without knowing FS internals.
+SPEC_ATTR = "_persistence_spec"
+
+VALID_KINDS = ("nt_store", "flush", "fence")
+
+
+@dataclass(frozen=True)
+class PersistenceSpec:
+    """How the probe layer decodes calls to one persistence function.
+
+    ``addr_arg`` / ``data_arg`` / ``length_arg`` are positional indices into
+    the call's arguments (excluding ``self``), mirroring how a Kprobes
+    handler decodes the probed function's registers.
+    """
+
+    kind: str
+    addr_arg: Optional[int] = None
+    data_arg: Optional[int] = None
+    length_arg: Optional[int] = None
+
+    def decode(self, args: tuple) -> tuple:
+        """Return ``(addr, length)`` of the range the call touched."""
+        if self.kind == "fence":
+            return (0, 0)
+        assert self.addr_arg is not None
+        addr = args[self.addr_arg]
+        if self.data_arg is not None:
+            return (addr, len(args[self.data_arg]))
+        assert self.length_arg is not None
+        return (addr, args[self.length_arg])
+
+
+def persistence_function(
+    kind: str,
+    addr_arg: Optional[int] = None,
+    data_arg: Optional[int] = None,
+    length_arg: Optional[int] = None,
+) -> Callable[[F], F]:
+    """Mark a method as a centralized persistence function.
+
+    ``kind`` is one of ``nt_store``, ``flush``, or ``fence``; the remaining
+    arguments tell the probe layer where the address and size live in the
+    function's signature.
+    """
+    if kind not in VALID_KINDS:
+        raise ValueError(f"unknown persistence kind {kind!r}")
+    if kind != "fence" and addr_arg is None:
+        raise ValueError(f"{kind} persistence functions need addr_arg")
+    if kind != "fence" and data_arg is None and length_arg is None:
+        raise ValueError(f"{kind} persistence functions need data_arg or length_arg")
+    spec = PersistenceSpec(kind, addr_arg, data_arg, length_arg)
+
+    def mark(func: F) -> F:
+        setattr(func, SPEC_ATTR, spec)
+        return func
+
+    return mark
+
+
+class PersistenceOps:
+    """Base persistence primitives over a :class:`PMDevice`.
+
+    Subclasses define the file system's actual persistence-function names and
+    list them in :attr:`persistence_function_names`; the probe layer attaches
+    to those names at runtime.
+    """
+
+    #: Names of the methods Chipmunk should instrument for this file system.
+    #: Subclasses override; the defaults cover the generic primitives.
+    persistence_function_names = ("memcpy_nt", "memset_nt", "flush_range", "sfence")
+
+    def __init__(self, device: PMDevice) -> None:
+        self.device = device
+        self.counters = OpCounters()
+
+    # ------------------------------------------------------------------
+    # Persistence primitives (probed)
+    # ------------------------------------------------------------------
+    @persistence_function("nt_store", addr_arg=0, data_arg=1)
+    def memcpy_nt(self, addr: int, data: bytes) -> None:
+        """Non-temporal copy of ``data`` to PM at ``addr``."""
+        self.device.write(addr, data)
+        self.counters.nt_bytes += len(data)
+        self.counters.nt_stores += 1
+
+    @persistence_function("nt_store", addr_arg=0, length_arg=2)
+    def memset_nt(self, addr: int, value: int, length: int) -> None:
+        """Non-temporal fill of ``length`` bytes of ``value`` at ``addr``."""
+        self.device.write(addr, bytes([value]) * length)
+        self.counters.nt_bytes += length
+        self.counters.nt_stores += 1
+
+    @persistence_function("flush", addr_arg=0, length_arg=1)
+    def flush_range(self, addr: int, length: int) -> None:
+        """Write back the cache lines covering ``[addr, addr+length)``.
+
+        The data that becomes persistent is whatever the volatile image holds
+        at flush time — the effect of preceding cached stores, at cache-line
+        granularity.
+        """
+        self.device.check_range(addr, length)
+        self.counters.flushes += max(1, (length + 63) // 64)
+
+    @persistence_function("fence")
+    def sfence(self) -> None:
+        """Store fence: drain all prior NT stores and flushes to media."""
+        self.counters.fences += 1
+
+    # ------------------------------------------------------------------
+    # Non-persistence helpers (never probed, never logged)
+    # ------------------------------------------------------------------
+    def store_cached(self, addr: int, data: bytes) -> None:
+        """A plain cached CPU store.
+
+        The running system sees the data immediately, but unless the line is
+        later flushed it will not survive a crash.  Buggy code paths that
+        forget a flush use this primitive (e.g. NOVA bug 2).
+        """
+        self.device.write(addr, data)
+        self.counters.cached_stores += 1
+
+    def read_pm(self, addr: int, length: int) -> bytes:
+        """Read from PM media (counted, for the cost model)."""
+        self.counters.reads += 1
+        self.counters.read_bytes += length
+        return self.device.read(addr, length)
+
+
+def get_spec(ops: PersistenceOps, name: str) -> PersistenceSpec:
+    """Return the :class:`PersistenceSpec` of the named function on ``ops``.
+
+    Raises ``AttributeError``/``ValueError`` when the name does not resolve
+    to a tagged persistence function — the same failure a developer would see
+    handing Kprobes a bad symbol name.
+    """
+    func = getattr(ops, name)
+    spec: Optional[PersistenceSpec] = getattr(func, SPEC_ATTR, None)
+    if spec is None:
+        raise ValueError(f"{name!r} is not a tagged persistence function")
+    return spec
+
+
+def spec_map(ops: PersistenceOps) -> Dict[str, PersistenceSpec]:
+    """Map every declared persistence-function name to its spec."""
+    return {name: get_spec(ops, name) for name in ops.persistence_function_names}

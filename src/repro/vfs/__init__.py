@@ -1,0 +1,37 @@
+"""POSIX-ish virtual file system interface shared by all PM file systems."""
+
+from repro.vfs.errors import (
+    EEXIST,
+    EINVAL,
+    EISDIR,
+    ENOENT,
+    ENOSPC,
+    ENOTDIR,
+    ENOTEMPTY,
+    EBADF,
+    FsError,
+)
+from repro.vfs.types import FileType, OpenFlags, Stat
+from repro.vfs.interface import FileSystem, MountError
+from repro.vfs.path import basename, dirname, normalize, split_path
+
+__all__ = [
+    "FsError",
+    "ENOENT",
+    "EEXIST",
+    "ENOTDIR",
+    "EISDIR",
+    "ENOTEMPTY",
+    "EINVAL",
+    "ENOSPC",
+    "EBADF",
+    "FileType",
+    "OpenFlags",
+    "Stat",
+    "FileSystem",
+    "MountError",
+    "normalize",
+    "split_path",
+    "dirname",
+    "basename",
+]

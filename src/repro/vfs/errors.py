@@ -1,0 +1,83 @@
+"""POSIX-style error codes raised by the simulated file systems."""
+
+from __future__ import annotations
+
+
+class FsError(Exception):
+    """A POSIX error returned by a file-system operation.
+
+    Carries an ``errno`` name so tests and the consistency checker can match
+    on the specific failure, exactly as a C caller would check ``errno``.
+    """
+
+    errno_name = "EIO"
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__(f"{self.errno_name}: {message}" if message else self.errno_name)
+        self.message = message
+
+
+class ENOENT(FsError):
+    """No such file or directory."""
+
+    errno_name = "ENOENT"
+
+
+class EEXIST(FsError):
+    """File exists."""
+
+    errno_name = "EEXIST"
+
+
+class ENOTDIR(FsError):
+    """Not a directory."""
+
+    errno_name = "ENOTDIR"
+
+
+class EISDIR(FsError):
+    """Is a directory."""
+
+    errno_name = "EISDIR"
+
+
+class ENOTEMPTY(FsError):
+    """Directory not empty."""
+
+    errno_name = "ENOTEMPTY"
+
+
+class EINVAL(FsError):
+    """Invalid argument."""
+
+    errno_name = "EINVAL"
+
+
+class ENOSPC(FsError):
+    """No space left on device."""
+
+    errno_name = "ENOSPC"
+
+
+class EBADF(FsError):
+    """Bad file descriptor."""
+
+    errno_name = "EBADF"
+
+
+class EMLINK(FsError):
+    """Too many links."""
+
+    errno_name = "EMLINK"
+
+
+class EFBIG(FsError):
+    """File too large."""
+
+    errno_name = "EFBIG"
+
+
+class EXDEV(FsError):
+    """Cross-device link (unused placeholder for API completeness)."""
+
+    errno_name = "EXDEV"

@@ -1,0 +1,64 @@
+"""Path handling helpers shared by all file systems.
+
+Paths are absolute, ``/``-separated, with no ``.``/``..`` resolution (the
+workload generators never produce those, matching ACE's path model).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.vfs.errors import EINVAL
+
+
+def normalize(path: str) -> str:
+    """Normalize a path to a canonical absolute form.
+
+    Collapses duplicate slashes and strips a trailing slash (except for the
+    root itself).  Raises :class:`EINVAL` for relative or empty paths.
+    """
+    if not path or not path.startswith("/"):
+        raise EINVAL(f"path must be absolute: {path!r}")
+    parts = [p for p in path.split("/") if p]
+    for part in parts:
+        if part in (".", ".."):
+            raise EINVAL(f"path may not contain {part!r}: {path!r}")
+    return "/" + "/".join(parts)
+
+
+def split_path(path: str) -> List[str]:
+    """Split a normalized path into its components (root → ``[]``)."""
+    norm = normalize(path)
+    if norm == "/":
+        return []
+    return norm[1:].split("/")
+
+
+def dirname(path: str) -> str:
+    """Parent directory of ``path`` (the root is its own parent)."""
+    parts = split_path(path)
+    if not parts:
+        return "/"
+    return "/" + "/".join(parts[:-1])
+
+
+def basename(path: str) -> str:
+    """Final component of ``path``; empty string for the root."""
+    parts = split_path(path)
+    return parts[-1] if parts else ""
+
+
+def split_parent(path: str) -> Tuple[str, str]:
+    """Return ``(dirname, basename)`` in one pass."""
+    parts = split_path(path)
+    if not parts:
+        raise EINVAL("operation on root directory")
+    return "/" + "/".join(parts[:-1]), parts[-1]
+
+
+def is_ancestor(a: str, b: str) -> bool:
+    """True when ``a`` is ``b`` or an ancestor directory of ``b``."""
+    na, nb = normalize(a), normalize(b)
+    if na == "/":
+        return True
+    return nb == na or nb.startswith(na + "/")

@@ -1,0 +1,47 @@
+"""Common value types for the VFS interface."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FileType(enum.Enum):
+    """Kind of a file-system object."""
+
+    REGULAR = "reg"
+    DIRECTORY = "dir"
+
+
+class OpenFlags(enum.IntFlag):
+    """Subset of POSIX open(2) flags the simulated file systems honour."""
+
+    O_RDONLY = 0x0
+    O_WRONLY = 0x1
+    O_RDWR = 0x2
+    O_CREAT = 0x40
+    O_EXCL = 0x80
+    O_TRUNC = 0x200
+    O_APPEND = 0x400
+
+
+@dataclass(frozen=True)
+class Stat:
+    """Result of ``stat``: the metadata the consistency checker compares.
+
+    The paper's checker compares "whether metadata provided by stat differs"
+    between crash state and oracle (section 3.3); we expose the fields that
+    are meaningful in the simulation.
+    """
+
+    ino: int
+    ftype: FileType
+    size: int
+    nlink: int
+    mode: int
+
+    def describe(self) -> str:
+        return (
+            f"ino={self.ino} type={self.ftype.value} size={self.size} "
+            f"nlink={self.nlink} mode={self.mode:o}"
+        )

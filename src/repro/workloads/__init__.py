@@ -1,0 +1,6 @@
+"""Workload representation and generators (ACE and the gray-box fuzzer)."""
+
+from repro.workloads.ops import Op, Workload, execute_op
+from repro.workloads.coverage import CoverageMap
+
+__all__ = ["Op", "Workload", "execute_op", "CoverageMap"]

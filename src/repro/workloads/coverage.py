@@ -1,0 +1,48 @@
+"""Coverage feedback for the gray-box fuzzer.
+
+The real Chipmunk collects kernel coverage via KCOV (Syzkaller) and
+user-space coverage via GCC's sanitizer instrumentation (SplitFS).  Our file
+systems expose the same signal through explicit coverage points
+(:meth:`repro.vfs.interface.FileSystem.cov`) placed on interesting branches;
+a :class:`CoverageMap` records which points a workload reached so the fuzzer
+can keep inputs that exercise new code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+
+class CoverageMap:
+    """Set of coverage points hit, with hit counts."""
+
+    def __init__(self) -> None:
+        self.hits: Dict[str, int] = {}
+
+    def hit(self, point: str) -> None:
+        self.hits[point] = self.hits.get(point, 0) + 1
+
+    def points(self) -> FrozenSet[str]:
+        return frozenset(self.hits)
+
+    def reset(self) -> None:
+        self.hits.clear()
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+
+class GlobalCoverage:
+    """Corpus-wide coverage accumulator used by the fuzzer's feedback loop."""
+
+    def __init__(self) -> None:
+        self.seen: Set[str] = set()
+
+    def add(self, points: FrozenSet[str]) -> int:
+        """Merge a run's coverage; return how many points were new."""
+        new = points - self.seen
+        self.seen |= new
+        return len(new)
+
+    def __len__(self) -> int:
+        return len(self.seen)

@@ -1,0 +1,51 @@
+"""Table-2 observation helpers."""
+
+from repro.analysis.observations import (
+    PAPER_OBSERVATIONS,
+    derived_associations,
+    observation_table,
+)
+from repro.fs.bugs import BUG_REGISTRY
+
+
+class TestPaperObservations:
+    def test_seven_rows(self):
+        assert len(PAPER_OBSERVATIONS) == 7
+
+    def test_keys_unique(self):
+        keys = [o.key for o in PAPER_OBSERVATIONS]
+        assert len(keys) == len(set(keys))
+
+    def test_logic_row_matches_registry_types(self):
+        logic_row = next(o for o in PAPER_OBSERVATIONS if o.key == "logic")
+        registry_logic = {
+            b for b, s in BUG_REGISTRY.items() if s.bug_type == "logic"
+        }
+        assert logic_row.paper_bugs == registry_logic
+
+    def test_resilience_row_is_fortis_bugs_plus_2(self):
+        row = next(o for o in PAPER_OBSERVATIONS if o.key == "resilience")
+        assert row.paper_bugs == {2, 9, 10, 11, 12}
+
+    def test_short_workload_row_excludes_7_and_8(self):
+        row = next(o for o in PAPER_OBSERVATIONS if o.key == "short")
+        assert 7 not in row.paper_bugs and 8 not in row.paper_bugs
+
+
+class TestDerived:
+    def test_derived_keys(self):
+        derived = derived_associations()
+        assert set(derived) == {"logic", "midsyscall", "short", "fewwrites"}
+
+    def test_derived_logic_count(self):
+        assert len(derived_associations()["logic"]) == 19
+
+    def test_fewwrites_covers_midsyscall(self):
+        derived = derived_associations()
+        assert derived["midsyscall"] <= derived["fewwrites"]
+
+    def test_observation_table_renderable(self):
+        rows = observation_table()
+        assert len(rows) == 7
+        for key, text, bugs in rows:
+            assert text and bugs == sorted(bugs)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs.bugs import BugConfig
+from repro.fs.registry import FS_CLASSES
+from repro.pm.device import PMDevice
+
+#: Device size used throughout the tests: small enough to be fast, large
+#: enough for every geometry.
+TEST_DEVICE_SIZE = 256 * 1024
+
+STRONG_FS = ["nova", "nova-fortis", "pmfs", "winefs", "splitfs"]
+WEAK_FS = ["ext4-dax", "xfs-dax"]
+ALL_FS = STRONG_FS + WEAK_FS
+
+
+@pytest.fixture
+def device() -> PMDevice:
+    return PMDevice(TEST_DEVICE_SIZE)
+
+
+@pytest.fixture(params=ALL_FS)
+def fs_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture(params=STRONG_FS)
+def strong_fs_name(request) -> str:
+    return request.param
+
+
+def make_fixed_fs(name: str, size: int = TEST_DEVICE_SIZE):
+    """A freshly formatted, bug-free instance of the named file system."""
+    cls = FS_CLASSES()[name]
+    return cls.mkfs(PMDevice(size), bugs=BugConfig.fixed())
+
+
+@pytest.fixture
+def fs(fs_name):
+    return make_fixed_fs(fs_name)
+
+
+@pytest.fixture
+def strong_fs(strong_fs_name):
+    return make_fixed_fs(strong_fs_name)
+
+
+def remount(fs):
+    """Remount the file system on its current device image."""
+    return type(fs).mount(fs.device, bugs=fs.bugcfg)

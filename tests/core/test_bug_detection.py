@@ -1,0 +1,100 @@
+"""Detection matrix: every Table-1 bug must be found by Chipmunk when
+enabled, using its known trigger workload, and the fixed configuration must
+stay silent on the same workloads.
+"""
+
+import pytest
+
+from repro.analysis.bugdb import TRIGGERS
+from repro.core import Chipmunk, ChipmunkConfig
+from repro.fs.bugs import BUG_REGISTRY, BugConfig
+
+DETECTION_MATRIX = [
+    (spec.bug_id, fs_name)
+    for spec in BUG_REGISTRY.values()
+    for fs_name in spec.filesystems
+]
+
+
+def find_bug(fs_name: str, bug_id: int, cap=2):
+    cm = Chipmunk(fs_name, bugs=BugConfig.only(bug_id), config=ChipmunkConfig(cap=cap))
+    for workload in TRIGGERS[bug_id]:
+        result = cm.test_workload(workload)
+        if result.buggy:
+            return result
+    return None
+
+
+@pytest.mark.parametrize("bug_id,fs_name", DETECTION_MATRIX)
+def test_bug_detected_when_enabled(bug_id, fs_name):
+    result = find_bug(fs_name, bug_id)
+    assert result is not None, f"bug {bug_id} not detected on {fs_name}"
+
+
+@pytest.mark.parametrize("bug_id,fs_name", DETECTION_MATRIX)
+def test_trigger_clean_when_fixed(bug_id, fs_name):
+    cm = Chipmunk(fs_name, bugs=BugConfig.fixed())
+    for workload in TRIGGERS[bug_id]:
+        assert not cm.test_workload(workload).buggy
+
+
+class TestConsequenceClassification:
+    """Spot-check that the report consequence matches the Table-1 row."""
+
+    def test_unmountable_bugs(self):
+        for bug_id, fs_name in [(1, "nova"), (3, "nova"), (13, "pmfs")]:
+            result = find_bug(fs_name, bug_id)
+            assert result.clusters[0].exemplar.consequence.value == "file system unmountable"
+
+    def test_rename_atomicity_bugs(self):
+        for bug_id in (4, 5):
+            result = find_bug("nova", bug_id)
+            exemplar = result.clusters[0].exemplar
+            assert exemplar.syscall_name == "rename"
+            assert exemplar.mid_syscall
+
+    def test_synchrony_bugs(self):
+        for bug_id, fs_name in [(14, "pmfs"), (21, "splitfs"), (24, "splitfs")]:
+            result = find_bug(fs_name, bug_id)
+            exemplar = result.clusters[0].exemplar
+            assert exemplar.consequence.value == "operation is not synchronous"
+            assert not exemplar.mid_syscall
+
+
+class TestCapSensitivity:
+    """Observation 7: a cap of two writes suffices for every bug."""
+
+    @pytest.mark.parametrize("bug_id,fs_name", DETECTION_MATRIX)
+    def test_cap_two_finds_all(self, bug_id, fs_name):
+        assert find_bug(fs_name, bug_id, cap=2) is not None
+
+    def test_cap_one_finds_most_mid_syscall_bugs(self):
+        found = 0
+        mid_bugs = [
+            (s.bug_id, fs)
+            for s in BUG_REGISTRY.values()
+            for fs in s.filesystems
+            if s.needs_mid_syscall
+        ]
+        for bug_id, fs_name in mid_bugs:
+            if find_bug(fs_name, bug_id, cap=1) is not None:
+                found += 1
+        assert found >= len(mid_bugs) - 2
+
+
+class TestAllBugsTogether:
+    """The all-bugs configuration (the systems as the paper tested them)
+    still detects problems and the oracle agreement holds."""
+
+    @pytest.mark.parametrize("fs_name", ["nova", "pmfs", "winefs", "splitfs"])
+    def test_buggy_default_reports_something(self, fs_name):
+        cm = Chipmunk(fs_name)  # default: all bugs for this FS
+        from repro.workloads.ops import Op
+
+        workload = [
+            Op("creat", ("/foo",)),
+            Op("write", ("/foo", 0, 0x41, 512)),
+            Op("rename", ("/foo", "/bar")),
+        ]
+        result = cm.test_workload(workload)
+        assert result.buggy

@@ -1,0 +1,133 @@
+"""Property tests of the torn-write envelope (checker internals)."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from conftest import TEST_DEVICE_SIZE
+from repro.core.checker import ConsistencyChecker
+from repro.core.oracle import run_oracle
+from repro.fs.bugs import BugConfig
+from repro.fs.registry import fs_class
+from repro.vfs.interface import FileObservation
+from repro.vfs.types import FileType, Stat
+from repro.workloads.ops import Op
+
+PMFS = fs_class("pmfs")
+
+
+def checker():
+    workload = [Op("creat", ("/f",))]
+    oracle = run_oracle(PMFS, workload, TEST_DEVICE_SIZE, bugs=BugConfig.fixed())
+    return ConsistencyChecker(PMFS, oracle, "t", bugs=BugConfig.fixed())
+
+
+def file_obs(content: bytes, nlink=1, mode=0o644):
+    st = Stat(1, FileType.REGULAR, len(content), nlink, mode)
+    return FileObservation.for_file(st, content)
+
+
+def trees(pre: bytes, post: bytes, crash: bytes):
+    return (
+        {"/f": file_obs(crash)},
+        {"/f": file_obs(pre)},
+        {"/f": file_obs(post)},
+    )
+
+
+class TestEnvelopeBasics:
+    def test_pre_content_accepted(self):
+        c = checker()
+        crash, pre, post = trees(b"old", b"new", b"old")
+        assert c._within_data_envelope(crash, pre, post)
+
+    def test_post_content_accepted(self):
+        c = checker()
+        crash, pre, post = trees(b"old", b"new", b"new")
+        assert c._within_data_envelope(crash, pre, post)
+
+    def test_bytewise_mix_accepted(self):
+        c = checker()
+        crash, pre, post = trees(b"oooo", b"nnnn", b"onon")
+        assert c._within_data_envelope(crash, pre, post)
+
+    def test_foreign_bytes_rejected(self):
+        c = checker()
+        crash, pre, post = trees(b"aaaa", b"bbbb", b"cccc")
+        assert not c._within_data_envelope(crash, pre, post)
+
+    def test_zeros_in_extension_accepted(self):
+        """An extending write may leave unwritten (zero) bytes mid-crash."""
+        c = checker()
+        crash, pre, post = trees(b"ab", b"ab1234", b"ab\x00\x003\x00")
+        # Size must be old or new; zeros beyond the old size are allowed.
+        assert c._within_data_envelope(crash, pre, post)
+
+    def test_torn_size_rejected(self):
+        c = checker()
+        crash, pre, post = trees(b"ab", b"abcdef", b"abcd")
+        assert not c._within_data_envelope(crash, pre, post)
+
+    def test_nlink_change_rejected(self):
+        c = checker()
+        crash = {"/f": file_obs(b"new", nlink=2)}
+        pre = {"/f": file_obs(b"old")}
+        post = {"/f": file_obs(b"new")}
+        assert not c._within_data_envelope(crash, pre, post)
+
+    def test_untouched_path_must_match_pre(self):
+        c = checker()
+        crash = {"/f": file_obs(b"new"), "/g": file_obs(b"CHANGED")}
+        pre = {"/f": file_obs(b"old"), "/g": file_obs(b"same")}
+        post = {"/f": file_obs(b"new"), "/g": file_obs(b"same")}
+        assert not c._within_data_envelope(crash, pre, post)
+
+    def test_missing_target_rejected(self):
+        c = checker()
+        crash = {}
+        pre = {"/f": file_obs(b"old")}
+        post = {"/f": file_obs(b"new")}
+        assert not c._within_data_envelope(crash, pre, post)
+
+    def test_new_file_appearing_mid_write(self):
+        """A file created by the (data) op may be absent pre-state."""
+        c = checker()
+        crash = {"/f": file_obs(b"\x00\x00")}
+        pre = {}
+        post = {"/f": file_obs(b"xy")}
+        assert c._within_data_envelope(crash, pre, post)
+
+
+class TestEnvelopeProperties:
+    @given(
+        pre=st.binary(min_size=0, max_size=40),
+        post=st.binary(min_size=1, max_size=40),
+        picks=st.lists(st.sampled_from(["pre", "post", "zero"]), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60)
+    def test_any_bytewise_mixture_accepted(self, pre, post, picks):
+        """Every byte drawn from {pre, post, 0} at either legal size passes
+        — provided the operation actually changed the file (pre != post;
+        otherwise the checker rightly demands exact equality)."""
+        assume(pre != post)
+        c = checker()
+        size = len(post)
+        crash_bytes = bytearray()
+        for i in range(size):
+            choice = picks[i % len(picks)]
+            if choice == "pre":
+                crash_bytes.append(pre[i] if i < len(pre) else 0)
+            elif choice == "post":
+                crash_bytes.append(post[i])
+            else:
+                crash_bytes.append(0)
+        crash, p0, p1 = trees(pre, post, bytes(crash_bytes))
+        assert c._within_data_envelope(crash, p0, p1)
+
+    @given(pre=st.binary(min_size=2, max_size=30))
+    @settings(max_examples=40)
+    def test_identity_always_accepted(self, pre):
+        c = checker()
+        post = bytes(b ^ 1 for b in pre)  # always differs from pre
+        crash, p0, p1 = trees(pre, post, pre)
+        assert c._within_data_envelope(crash, p0, p1)

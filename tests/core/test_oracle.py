@@ -1,0 +1,76 @@
+"""Oracle state tracking."""
+
+import pytest
+
+from conftest import TEST_DEVICE_SIZE
+from repro.core.oracle import run_oracle
+from repro.fs.bugs import BugConfig
+from repro.fs.registry import fs_class
+from repro.workloads.ops import Op
+
+
+def oracle_for(workload, name="nova", setup=()):
+    return run_oracle(
+        fs_class(name), workload, TEST_DEVICE_SIZE, bugs=BugConfig.fixed(), setup=setup
+    )
+
+
+class TestStates:
+    def test_one_state_per_boundary(self):
+        workload = [Op("creat", ("/f",)), Op("mkdir", ("/A",))]
+        oracle = oracle_for(workload)
+        assert len(oracle.states) == 3
+
+    def test_pre_post_relationship(self):
+        workload = [Op("creat", ("/f",))]
+        oracle = oracle_for(workload)
+        assert "/f" not in oracle.pre_state(0)
+        assert "/f" in oracle.post_state(0)
+
+    def test_final_state(self):
+        workload = [Op("creat", ("/f",)), Op("unlink", ("/f",))]
+        oracle = oracle_for(workload)
+        assert "/f" not in oracle.final_state
+
+    def test_syscall_changed(self):
+        workload = [Op("creat", ("/f",)), Op("truncate", ("/f", 0))]
+        oracle = oracle_for(workload)
+        assert oracle.syscall_changed(0)
+        assert not oracle.syscall_changed(1)  # truncate to same size: no-op
+
+
+class TestErrnos:
+    def test_success_is_none(self):
+        oracle = oracle_for([Op("creat", ("/f",))])
+        assert oracle.errnos == [None]
+
+    def test_failure_recorded(self):
+        oracle = oracle_for([Op("unlink", ("/missing",))])
+        assert oracle.errnos == ["ENOENT"]
+
+    def test_failed_op_leaves_state_unchanged(self):
+        oracle = oracle_for([Op("creat", ("/f",)), Op("creat", ("/f",))])
+        assert oracle.errnos == [None, "EEXIST"]
+        assert oracle.pre_state(1) == oracle.post_state(1)
+
+
+class TestSetup:
+    def test_setup_establishes_initial_state(self):
+        setup = [Op("mkdir", ("/A",)), Op("creat", ("/A/f",))]
+        oracle = oracle_for([Op("unlink", ("/A/f",))], setup=setup)
+        assert "/A/f" in oracle.pre_state(0)
+        assert "/A/f" not in oracle.post_state(0)
+
+    def test_setup_not_in_states(self):
+        setup = [Op("creat", ("/s",))]
+        oracle = oracle_for([Op("creat", ("/f",))], setup=setup)
+        assert len(oracle.states) == 2
+
+
+class TestContentCapture:
+    def test_content_in_observation(self):
+        workload = [Op("creat", ("/f",)), Op("write", ("/f", 0, 0x41, 16))]
+        oracle = oracle_for(workload)
+        obs = oracle.final_state["/f"]
+        assert obs.size == 16
+        assert obs.content is not None and len(obs.content) == 16

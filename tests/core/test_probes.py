@@ -1,0 +1,141 @@
+"""Function-level probes (the Kprobes/Uprobes analogue)."""
+
+import pytest
+
+from repro.core.probes import ProbeSet, probe_targets_of
+from repro.pm.device import PMDevice
+from repro.pm.log import Fence, Flush, NTStore, PMLog
+from repro.pm.persistence import PersistenceOps
+
+
+@pytest.fixture
+def setup():
+    device = PMDevice(4096)
+    ops = PersistenceOps(device)
+    log = PMLog()
+    probes = ProbeSet(log)
+    probes.attach([ops])
+    return device, ops, log, probes
+
+
+class TestAttachment:
+    def test_nt_store_logged(self, setup):
+        _, ops, log, _ = setup
+        ops.memcpy_nt(100, b"hello")
+        entry = log.entries[0]
+        assert isinstance(entry, NTStore)
+        assert entry.addr == 100 and entry.data == b"hello"
+        assert entry.func == "memcpy_nt"
+
+    def test_memset_logged_with_fill(self, setup):
+        _, ops, log, _ = setup
+        ops.memset_nt(0, 0x7F, 16)
+        entry = log.entries[0]
+        assert isinstance(entry, NTStore)
+        assert entry.data == b"\x7f" * 16
+
+    def test_fence_logged(self, setup):
+        _, ops, log, _ = setup
+        ops.sfence()
+        assert isinstance(log.entries[0], Fence)
+
+    def test_cached_store_not_logged(self, setup):
+        _, ops, log, _ = setup
+        ops.store_cached(0, b"invisible")
+        assert len(log) == 0
+
+    def test_device_still_written(self, setup):
+        device, ops, _, _ = setup
+        ops.memcpy_nt(10, b"data")
+        assert device.read(10, 4) == b"data"
+
+    def test_double_attach_rejected(self, setup):
+        _, ops, log, probes = setup
+        with pytest.raises(RuntimeError):
+            probes.attach([ops])
+
+
+class TestFlushSemantics:
+    def test_flush_captures_whole_cache_lines(self, setup):
+        """A flush persists the full lines it covers — including earlier
+        cached stores sharing the line."""
+        _, ops, log, _ = setup
+        ops.store_cached(70, b"neighbour")
+        ops.store_cached(64, b"me")
+        ops.flush_range(64, 2)
+        entry = log.entries[0]
+        assert isinstance(entry, Flush)
+        assert entry.addr == 64
+        assert entry.length == 64
+        assert entry.data[:2] == b"me"
+        assert entry.data[6:15] == b"neighbour"
+
+    def test_flush_spanning_lines(self, setup):
+        _, ops, log, _ = setup
+        ops.flush_range(60, 10)  # straddles lines 0 and 64
+        entry = log.entries[0]
+        assert entry.addr == 0 and entry.length == 128
+
+    def test_flush_captures_data_at_flush_time(self, setup):
+        _, ops, log, _ = setup
+        ops.store_cached(0, b"AAAA")
+        ops.flush_range(0, 4)
+        ops.store_cached(0, b"BBBB")
+        ops.flush_range(0, 4)
+        assert log.entries[0].data[:4] == b"AAAA"
+        assert log.entries[1].data[:4] == b"BBBB"
+
+    def test_zero_length_flush_not_logged(self, setup):
+        _, ops, log, _ = setup
+        ops.flush_range(0, 0)
+        assert len(log) == 0
+
+
+class TestDetach:
+    def test_detach_stops_logging(self, setup):
+        _, ops, log, probes = setup
+        probes.detach()
+        ops.memcpy_nt(0, b"silent")
+        assert len(log) == 0
+
+    def test_detach_restores_function(self, setup):
+        device, ops, _, probes = setup
+        probes.detach()
+        ops.memcpy_nt(0, b"works")
+        assert device.read(0, 5) == b"works"
+
+    def test_context_manager(self):
+        device = PMDevice(4096)
+        ops = PersistenceOps(device)
+        log = PMLog()
+        with ProbeSet(log) as probes:
+            probes.attach([ops])
+            ops.sfence()
+        ops.sfence()
+        assert log.fence_count() == 1
+
+
+class TestProbeTargets:
+    def test_default_single_target(self):
+        from conftest import make_fixed_fs
+
+        fs = make_fixed_fs("nova")
+        assert probe_targets_of(fs) == [fs.ops]
+
+    def test_splitfs_two_targets(self):
+        from conftest import make_fixed_fs
+
+        fs = make_fixed_fs("splitfs")
+        assert len(probe_targets_of(fs)) == 2
+
+    def test_fs_specific_function_names_logged(self):
+        """Probing NOVA records entries under NOVA's function names."""
+        from conftest import make_fixed_fs
+
+        fs = make_fixed_fs("nova")
+        log = PMLog()
+        with ProbeSet(log) as probes:
+            probes.attach(probe_targets_of(fs))
+            fs.creat("/f")
+        funcs = {e.func for e in log.writes()}
+        assert any("nova" in f or "pmem" in f for f in funcs)

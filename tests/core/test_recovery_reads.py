@@ -1,0 +1,124 @@
+"""Vinter-style recovery-read heuristic (extension, paper section 6.2)."""
+
+import pytest
+
+from conftest import TEST_DEVICE_SIZE, make_fixed_fs
+from repro.core.recovery_reads import (
+    ReadTrackingDevice,
+    rank_units,
+    recovery_read_set,
+    write_overlap,
+)
+from repro.fs.bugs import BugConfig
+from repro.fs.nova.fs import NovaFS
+from repro.pm.log import NTStore
+
+
+class TestReadTrackingDevice:
+    def test_reads_recorded(self):
+        dev = ReadTrackingDevice(1024)
+        dev.read(100, 8)
+        dev.read(500, 64)
+        assert dev.read_ranges == [(100, 8), (500, 64)]
+
+    def test_zero_length_ignored(self):
+        dev = ReadTrackingDevice(1024)
+        dev.read(0, 0)
+        assert dev.read_ranges == []
+
+    def test_from_snapshot(self):
+        dev = ReadTrackingDevice(1024)
+        dev.write(7, b"data")
+        clone = ReadTrackingDevice.from_snapshot(dev.snapshot())
+        assert clone.read(7, 4) == b"data"
+        assert clone.read_ranges == [(7, 4)]
+
+
+class TestRecoveryReadSet:
+    def test_mount_reads_metadata_regions(self):
+        fs = make_fixed_fs("nova")
+        fs.creat("/f")
+        fs.write("/f", 0, b"x" * 512)
+        lines = recovery_read_set(NovaFS, fs.device.snapshot(), bugs=BugConfig.fixed())
+        assert lines
+        # Recovery reads the inode table...
+        table = fs.geom.inode_table
+        assert any(table.offset // 64 <= line < table.end // 64 for line in lines)
+        # ...but not the file's data blocks (NOVA rebuilds metadata only).
+        data_block = next(iter(fs.inodes[fs.inodes[0].children["f"]].blockmap.values()))
+        data_line = fs.geom.block_addr(data_block) // 64
+        assert data_line not in lines
+
+    def test_failed_mount_still_yields_reads(self):
+        lines = recovery_read_set(NovaFS, bytes(TEST_DEVICE_SIZE))
+        assert lines  # at least the superblock read
+
+
+class TestRanking:
+    def _unit(self, addr, length=8):
+        return [NTStore(addr, b"\x01" * length, "f", 0)]
+
+    def test_overlap_counts_lines(self):
+        entry = NTStore(0, b"\x01" * 130, "f", 0)
+        assert write_overlap(entry, {0, 1, 2}) == 3
+        assert write_overlap(entry, {1}) == 1
+        assert write_overlap(entry, set()) == 0
+
+    def test_recovery_visible_units_first(self):
+        cold, hot = self._unit(4096), self._unit(0)
+        ranked = rank_units([cold, hot], read_lines={0})
+        assert ranked[0] is hot
+
+    def test_stable_for_equal_scores(self):
+        a, b = self._unit(4096), self._unit(8192)
+        assert rank_units([a, b], read_lines=set()) == [a, b]
+
+
+class TestReplayerIntegration:
+    def test_ranker_changes_order_not_results(self):
+        """With and without the ranker, the same set of crash-state images
+        is produced — only the order differs."""
+        from repro.core.harness import Chipmunk
+        from repro.core.replayer import enumerate_crash_states
+        from repro.workloads.ops import Op
+
+        cm = Chipmunk("nova", bugs=BugConfig.fixed())
+        base, log, _ = cm.record(
+            [Op("creat", ("/f",)), Op("write", ("/f", 0, 0x41, 512))]
+        )
+
+        def reverse_ranker(units):
+            return list(reversed(units))
+
+        plain = [s.image for s in enumerate_crash_states(base, log, cap=None)]
+        ranked = [
+            s.image
+            for s in enumerate_crash_states(
+                base, log, cap=None, unit_ranker=reverse_ranker
+            )
+        ]
+        assert sorted(plain) == sorted(ranked)
+
+    def test_heuristic_end_to_end(self):
+        """Using the recovery-read ranker still detects a real bug."""
+        from repro.core.checker import ConsistencyChecker
+        from repro.core.harness import Chipmunk
+        from repro.core.oracle import run_oracle
+        from repro.core.replayer import enumerate_crash_states
+        from repro.workloads.ops import Op
+
+        bugs = BugConfig.only(5)
+        cm = Chipmunk("nova", bugs=bugs)
+        workload = [Op("creat", ("/f",)), Op("rename", ("/f", "/g"))]
+        base, log, _ = cm.record(workload)
+        read_lines = recovery_read_set(NovaFS, base, bugs=bugs)
+        oracle = run_oracle(NovaFS, workload, cm.config.device_size, bugs=bugs)
+        checker = ConsistencyChecker(NovaFS, oracle, "w", bugs=bugs)
+        found = False
+        for state in enumerate_crash_states(
+            base, log, cap=2, unit_ranker=lambda u: rank_units(u, read_lines)
+        ):
+            if checker.check(state):
+                found = True
+                break
+        assert found

@@ -1,0 +1,93 @@
+"""BugReport and tree diffing."""
+
+from repro.core.report import BugReport, Consequence, DiffEntry, diff_trees
+from repro.vfs.interface import FileObservation
+from repro.vfs.types import FileType, Stat
+
+
+def obs_file(content=b"x", nlink=1):
+    st = Stat(1, FileType.REGULAR, len(content), nlink, 0o644)
+    return FileObservation.for_file(st, content)
+
+
+def obs_dir(entries=()):
+    st = Stat(1, FileType.DIRECTORY, 512, 2, 0o755)
+    return FileObservation.for_dir(st, list(entries))
+
+
+class TestDiffTrees:
+    def test_identical_trees_empty_diff(self):
+        tree = {"/": obs_dir(["f"]), "/f": obs_file()}
+        assert diff_trees(tree, tree) == []
+
+    def test_missing_path(self):
+        crash = {"/": obs_dir()}
+        oracle = {"/": obs_dir(), "/f": obs_file()}
+        diffs = diff_trees(crash, oracle)
+        assert len(diffs) == 1
+        assert diffs[0].kind == "missing" and diffs[0].path == "/f"
+
+    def test_extra_path(self):
+        crash = {"/": obs_dir(), "/ghost": obs_file()}
+        oracle = {"/": obs_dir()}
+        diffs = diff_trees(crash, oracle)
+        assert diffs[0].kind == "extra" and diffs[0].path == "/ghost"
+
+    def test_differing_content(self):
+        crash = {"/f": obs_file(b"aaa")}
+        oracle = {"/f": obs_file(b"bbb")}
+        diffs = diff_trees(crash, oracle)
+        assert diffs[0].kind == "differs"
+        assert "crash=" in diffs[0].detail and "expected=" in diffs[0].detail
+
+    def test_sorted_by_path(self):
+        crash = {"/b": obs_file(), "/a": obs_file()}
+        diffs = diff_trees(crash, {})
+        assert [d.path for d in diffs] == ["/a", "/b"]
+
+    def test_describe(self):
+        entry = DiffEntry("/f", "missing", "file size=3")
+        assert entry.describe() == "/f: missing (file size=3)"
+
+
+class TestBugReport:
+    def _report(self, **kwargs):
+        defaults = dict(
+            fs_name="nova",
+            consequence=Consequence.ATOMICITY,
+            workload_desc="creat('/f')",
+            crash_desc="crash at fence 1",
+            detail="something diverged",
+        )
+        defaults.update(kwargs)
+        return BugReport(**defaults)
+
+    def test_render_contains_fields(self):
+        text = self._report(paths=("/f",)).render()
+        assert "BUG [nova]" in text
+        assert "creat('/f')" in text
+        assert "/f" in text
+
+    def test_signature_stable(self):
+        a, b = self._report(), self._report()
+        assert a.signature() == b.signature()
+
+    def test_signature_distinguishes_consequence(self):
+        a = self._report()
+        b = self._report(consequence=Consequence.UNMOUNTABLE)
+        assert a.signature() != b.signature()
+
+    def test_signature_distinguishes_phase(self):
+        a = self._report(mid_syscall=True)
+        b = self._report(mid_syscall=False)
+        assert a.signature() != b.signature()
+
+    def test_frozen(self):
+        import pytest
+
+        report = self._report()
+        with pytest.raises(Exception):
+            report.detail = "tampered"  # type: ignore[misc]
+
+    def test_all_consequences_have_text(self):
+        assert all(isinstance(c.value, str) and c.value for c in Consequence)

@@ -1,0 +1,49 @@
+"""SplitFS-specific probing: both components share one write log."""
+
+from repro.core.harness import Chipmunk
+from repro.fs.bugs import BugConfig
+from repro.workloads.ops import Op
+
+
+class TestDualComponentLogging:
+    def test_user_space_functions_logged(self):
+        cm = Chipmunk("splitfs", bugs=BugConfig.fixed())
+        _, log, _ = cm.record([Op("creat", ("/f",)), Op("write", ("/f", 0, 0x41, 256))])
+        funcs = {e.func for e in log.writes()}
+        assert any(f.startswith("splitfs_") for f in funcs)
+
+    def test_kernel_functions_logged_on_checkpoint(self):
+        """A checkpoint drives the kernel FS's journal commit; its dax_*
+        persistence functions must appear in the same log (the paper's
+        combined Kprobes + Uprobes logger)."""
+        cm = Chipmunk("splitfs", bugs=BugConfig.fixed())
+        _, log, _ = cm.record(
+            [Op("creat", ("/f",)), Op("sync", ())]  # sync() checkpoints
+        )
+        funcs = {e.func for e in log.writes()}
+        assert any(f.startswith("splitfs_") for f in funcs)
+        assert any(f.startswith("dax_") for f in funcs)
+
+    def test_crash_during_checkpoint_is_consistent(self):
+        """The kernel journal makes the checkpoint atomic: crash states
+        inside sync() must all be consistent on the fixed file system."""
+        cm = Chipmunk("splitfs", bugs=BugConfig.fixed())
+        result = cm.test_workload(
+            [
+                Op("mkdir", ("/A",)),
+                Op("creat", ("/A/f",)),
+                Op("write", ("/A/f", 0, 0x41, 700)),
+                Op("sync", ()),
+                Op("unlink", ("/A/f",)),
+            ]
+        )
+        assert not result.buggy, result.summary()
+
+    def test_log_exhaustion_checkpoint_under_probes(self):
+        """Filling the op log mid-workload triggers an inline checkpoint;
+        the recorded run must stay consistent."""
+        cm = Chipmunk("splitfs", bugs=BugConfig.fixed())
+        workload = [Op("creat", ("/f",))]
+        workload += [Op("truncate", ("/f", i % 5)) for i in range(34)]
+        result = cm.test_workload(workload)
+        assert not result.buggy, result.summary()

@@ -1,0 +1,96 @@
+"""Lexical triage clustering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.report import BugReport, Consequence
+from repro.core.triage import Triage, jaccard, tokenize, triage_reports
+
+
+def report(consequence=Consequence.ATOMICITY, detail="detail text", syscall="rename", fs="nova"):
+    return BugReport(
+        fs_name=fs,
+        consequence=consequence,
+        workload_desc="w",
+        crash_desc="crash at fence 3",
+        detail=detail,
+        syscall=0,
+        syscall_name=syscall,
+        mid_syscall=True,
+    )
+
+
+class TestTokenize:
+    def test_numbers_stripped(self):
+        assert tokenize("fence 31 offset 0x40") == tokenize("fence 99 offset 0x40")
+
+    def test_paths_kept(self):
+        assert "/a/foo" in tokenize("missing /A/foo after crash")
+
+    def test_single_chars_dropped(self):
+        assert "a" not in tokenize("a b c word")
+
+
+class TestJaccard:
+    def test_identical(self):
+        t = tokenize("some report text")
+        assert jaccard(t, t) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(frozenset({"aa"}), frozenset({"bb"})) == 0.0
+
+    def test_empty_sets(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+
+class TestClustering:
+    def test_duplicates_merge(self):
+        triage = Triage()
+        for _ in range(5):
+            triage.add(report())
+        assert len(triage.clusters) == 1
+        assert triage.clusters[0].count == 5
+
+    def test_different_consequences_split(self):
+        triage = Triage()
+        triage.add(report(Consequence.ATOMICITY, "rename lost the file /foo"))
+        triage.add(report(Consequence.UNMOUNTABLE, "bad log page magic during mount"))
+        assert len(triage.clusters) == 2
+
+    def test_different_syscalls_split(self):
+        triage = Triage()
+        triage.add(report(detail="nlink differs on /foo", syscall="link"))
+        triage.add(report(detail="file /foo missing entirely", syscall="unlink"))
+        assert len(triage.clusters) == 2
+
+    def test_near_duplicates_merge(self):
+        """Reports differing only in indices and offsets cluster together."""
+        triage = Triage()
+        triage.add(report(detail="crash state 12 file /foo content differs expected size=100"))
+        triage.add(report(detail="crash state 57 file /foo content differs expected size=400"))
+        assert len(triage.clusters) == 1
+
+    def test_exemplar_is_first(self):
+        triage = Triage()
+        first = report()
+        triage.add(first)
+        triage.add(report())
+        assert triage.clusters[0].exemplar is first
+        assert triage.unique == [first]
+
+    def test_batch_helper(self):
+        clusters = triage_reports([report(), report()])
+        assert len(clusters) == 1
+
+    def test_summary_renders(self):
+        triage = Triage()
+        triage.add(report())
+        assert "x1" in triage.summary()
+
+    @given(st.lists(st.sampled_from(["rename", "link", "unlink"]), min_size=1, max_size=20))
+    @settings(max_examples=25)
+    def test_cluster_count_bounded_by_distinct_kinds(self, kinds):
+        triage = Triage()
+        for kind in kinds:
+            triage.add(report(syscall=kind, detail=f"{kind} violated something"))
+        assert len(triage.clusters) <= len(set(kinds))

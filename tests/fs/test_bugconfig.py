@@ -1,0 +1,112 @@
+"""BugConfig and the bug registry."""
+
+import pytest
+
+from repro.fs.bugs import ALL_BUG_IDS, BUG_REGISTRY, BugConfig, bugs_for_fs, iter_specs
+
+
+class TestRegistry:
+    def test_twenty_five_rows(self):
+        assert len(BUG_REGISTRY) == 25
+
+    def test_bug_ids_contiguous(self):
+        assert sorted(BUG_REGISTRY) == list(range(1, 26))
+
+    def test_types_valid(self):
+        assert all(s.bug_type in ("logic", "pm") for s in BUG_REGISTRY.values())
+
+    def test_paper_type_split(self):
+        """19 of 23 unique bugs are logic bugs (paper Observation 1);
+        the shared rows 14/15 and 17/18 are both PM bugs."""
+        logic = [s for s in BUG_REGISTRY.values() if s.bug_type == "logic"]
+        pm = [s for s in BUG_REGISTRY.values() if s.bug_type == "pm"]
+        assert len(logic) == 19
+        assert len(pm) == 6  # 4 unique + the two shared duplicates
+
+    def test_per_fs_counts_match_paper(self):
+        """Section 4.4: 8 NOVA, 4 extra NOVA-Fortis, 2+2 PMFS, 2+2 WineFS,
+        5 SplitFS."""
+        assert len(bugs_for_fs("nova")) == 8
+        assert len(bugs_for_fs("nova-fortis")) == 12  # inherits NOVA's 8
+        assert len(bugs_for_fs("pmfs")) == 4
+        assert len(bugs_for_fs("winefs")) == 4
+        assert len(bugs_for_fs("splitfs")) == 5
+        assert bugs_for_fs("ext4-dax") == []
+        assert bugs_for_fs("xfs-dax") == []
+
+    def test_mechanism_text_present(self):
+        assert all(len(s.mechanism) > 20 for s in BUG_REGISTRY.values())
+
+    def test_fuzzer_only_set(self):
+        fuzzer_only = {s.bug_id for s in BUG_REGISTRY.values() if s.fuzzer_only}
+        assert fuzzer_only == {17, 18, 20, 23}
+
+    def test_iter_specs(self):
+        specs = iter_specs([3, 1, 2])
+        assert [s.bug_id for s in specs] == [1, 2, 3]
+
+
+class TestBugConfig:
+    def test_fixed_has_nothing(self):
+        assert not any(BugConfig.fixed().has(b) for b in ALL_BUG_IDS)
+
+    def test_buggy_has_everything(self):
+        cfg = BugConfig.buggy()
+        assert all(cfg.has(b) for b in ALL_BUG_IDS)
+
+    def test_buggy_scoped_to_fs(self):
+        cfg = BugConfig.buggy("pmfs")
+        assert cfg.has(13) and cfg.has(14) and cfg.has(16) and cfg.has(17)
+        assert not cfg.has(1)
+
+    def test_only(self):
+        cfg = BugConfig.only(4, 5)
+        assert cfg.has(4) and cfg.has(5) and not cfg.has(6)
+
+    def test_only_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            BugConfig.only(99)
+
+    def test_without(self):
+        cfg = BugConfig.buggy("nova").without(4)
+        assert not cfg.has(4) and cfg.has(5)
+
+    def test_with_bugs(self):
+        cfg = BugConfig.fixed().with_bugs(7)
+        assert cfg.has(7)
+
+    def test_with_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            BugConfig.fixed().with_bugs(0)
+
+
+class TestAnalysisHelpers:
+    def test_unique_count_is_23(self):
+        from repro.analysis.bugdb import unique_bug_count
+
+        assert unique_bug_count() == 23
+
+    def test_canonical_ids(self):
+        from repro.analysis.bugdb import canonical_bug_id
+
+        assert canonical_bug_id(15) == 14
+        assert canonical_bug_id(18) == 17
+        assert canonical_bug_id(4) == 4
+
+    def test_triggers_cover_every_bug(self):
+        from repro.analysis.bugdb import TRIGGERS
+
+        assert set(TRIGGERS) == set(BUG_REGISTRY)
+
+    def test_observation_bug_ids_valid(self):
+        from repro.analysis.observations import PAPER_OBSERVATIONS
+
+        for obs in PAPER_OBSERVATIONS:
+            assert obs.paper_bugs <= ALL_BUG_IDS
+
+    def test_paper_midsyscall_count(self):
+        """Observation 5: 11 of the 23 bugs need mid-syscall crashes."""
+        from repro.analysis.observations import PAPER_OBSERVATIONS
+
+        mid = next(o for o in PAPER_OBSERVATIONS if o.key == "midsyscall")
+        assert len(mid.paper_bugs) == 11

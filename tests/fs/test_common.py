@@ -1,0 +1,178 @@
+"""Shared building blocks: allocators, layout codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs.common.alloc import AllocatorError, BlockAllocator, SlotAllocator
+from repro.fs.common.layout import (
+    Region,
+    crc32,
+    decode_name,
+    encode_name,
+    pad_to,
+    read_u16,
+    read_u32,
+    read_u64,
+    u16,
+    u32,
+    u64,
+)
+from repro.vfs.errors import ENOSPC
+
+
+class TestBlockAllocator:
+    def test_alloc_lowest_first(self):
+        alloc = BlockAllocator(10, 5)
+        assert alloc.alloc() == 10
+        assert alloc.alloc() == 11
+
+    def test_exhaustion(self):
+        alloc = BlockAllocator(0, 2)
+        alloc.alloc()
+        alloc.alloc()
+        with pytest.raises(ENOSPC):
+            alloc.alloc()
+
+    def test_free_and_realloc(self):
+        alloc = BlockAllocator(0, 4)
+        block = alloc.alloc()
+        alloc.free(block)
+        assert alloc.alloc() == block
+
+    def test_double_free_asserts(self):
+        alloc = BlockAllocator(0, 4)
+        block = alloc.alloc()
+        alloc.free(block)
+        with pytest.raises(AllocatorError):
+            alloc.free(block)
+
+    def test_free_unmanaged_block_asserts(self):
+        alloc = BlockAllocator(10, 4)
+        with pytest.raises(AllocatorError):
+            alloc.free(2)
+
+    def test_contiguous(self):
+        alloc = BlockAllocator(0, 10)
+        run = alloc.alloc_contiguous(4)
+        assert run == [0, 1, 2, 3]
+
+    def test_contiguous_skips_fragmentation(self):
+        alloc = BlockAllocator(0, 10)
+        for b in (0, 1, 2):
+            alloc.mark_used(b)
+        alloc.free(1)  # hole at 1
+        run = alloc.alloc_contiguous(3)
+        assert run == [3, 4, 5]
+
+    def test_contiguous_unavailable(self):
+        alloc = BlockAllocator(0, 4)
+        alloc.mark_used(1)
+        with pytest.raises(ENOSPC):
+            alloc.alloc_contiguous(3)
+
+    def test_alloc_many_falls_back(self):
+        alloc = BlockAllocator(0, 5)
+        alloc.mark_used(1)
+        alloc.mark_used(3)
+        blocks = alloc.alloc_many(3)
+        assert sorted(blocks) == [0, 2, 4]
+
+    def test_mark_used_idempotent(self):
+        alloc = BlockAllocator(0, 4)
+        alloc.mark_used(2)
+        alloc.mark_used(2)
+        assert not alloc.is_free(2)
+
+    def test_free_count(self):
+        alloc = BlockAllocator(0, 4)
+        assert alloc.free_count == 4
+        alloc.alloc()
+        assert alloc.free_count == 3
+
+    @given(st.lists(st.integers(0, 19), unique=True, max_size=20))
+    @settings(max_examples=40)
+    def test_alloc_free_invariant(self, to_use):
+        alloc = BlockAllocator(0, 20)
+        for b in to_use:
+            alloc.mark_used(b)
+        assert alloc.free_count == 20 - len(to_use)
+        for b in to_use:
+            alloc.free(b)
+        assert alloc.free_count == 20
+
+
+class TestSlotAllocator:
+    def test_reserved_slots_skipped(self):
+        alloc = SlotAllocator(4, reserved=[0])
+        assert alloc.alloc() == 1
+
+    def test_double_free_asserts(self):
+        alloc = SlotAllocator(4)
+        slot = alloc.alloc()
+        alloc.free(slot)
+        with pytest.raises(AllocatorError):
+            alloc.free(slot)
+
+    def test_exhaustion(self):
+        alloc = SlotAllocator(1)
+        alloc.alloc()
+        with pytest.raises(ENOSPC):
+            alloc.alloc()
+
+
+class TestCodecs:
+    @given(st.integers(0, 2**16 - 1))
+    @settings(max_examples=30)
+    def test_u16_roundtrip(self, v):
+        assert read_u16(u16(v)) == v
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30)
+    def test_u32_roundtrip(self, v):
+        assert read_u32(u32(v)) == v
+
+    @given(st.integers(0, 2**64 - 1))
+    @settings(max_examples=30)
+    def test_u64_roundtrip(self, v):
+        assert read_u64(u64(v)) == v
+
+    def test_name_roundtrip(self):
+        assert decode_name(encode_name("hello", 32)) == "hello"
+
+    def test_name_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            encode_name("x" * 32, 32)
+
+    def test_pad_to(self):
+        assert pad_to(b"ab", 4) == b"ab\x00\x00"
+        with pytest.raises(ValueError):
+            pad_to(b"abcde", 4)
+
+    def test_crc32_deterministic(self):
+        assert crc32(b"data") == crc32(b"data")
+        assert crc32(b"data") != crc32(b"Data")
+
+
+class TestRegion:
+    def test_bounds(self):
+        r = Region(100, 50)
+        assert r.end == 150
+        assert r.contains(100) and r.contains(149)
+        assert not r.contains(150)
+        assert r.contains(100, 50)
+        assert not r.contains(100, 51)
+
+    def test_at(self):
+        r = Region(100, 50)
+        assert r.at(0) == 100
+        assert r.at(50) == 150
+        with pytest.raises(ValueError):
+            r.at(51)
+
+    def test_slots(self):
+        r = Region(0, 256)
+        assert r.slot(3, 64) == 192
+        assert r.slot_count(64) == 4
+        with pytest.raises(ValueError):
+            r.slot(4, 64)

@@ -1,0 +1,164 @@
+"""NOVA-Fortis: checksums, replicas, pending-truncate record."""
+
+import pytest
+
+from repro.fs.bugs import BugConfig
+from repro.fs.common.layout import read_u16, read_u32
+from repro.fs.nova import layout as L
+from repro.fs.novafortis.fs import CSUM_ENTRY_SIZE, FortisGeometry, NovaFortisFS
+from repro.pm.device import PMDevice
+from repro.vfs.errors import FsError
+
+
+def make_fortis(bugs=None):
+    return NovaFortisFS.mkfs(PMDevice(256 * 1024), bugs=bugs or BugConfig.fixed())
+
+
+class TestGeometry:
+    def test_regions_disjoint_and_ordered(self):
+        geom = FortisGeometry(device_size=256 * 1024)
+        assert geom.inode_table.end == geom.replica_table.offset
+        assert geom.replica_table.end == geom.csum_table.offset
+        assert geom.csum_table.end == geom.pending_truncate.offset
+        assert geom.pending_truncate.end == geom.first_data_block * geom.block_size
+
+    def test_fewer_data_blocks_than_plain_nova(self):
+        from repro.fs.nova.layout import NovaGeometry
+
+        plain = NovaGeometry(device_size=256 * 1024)
+        fortis = FortisGeometry(device_size=256 * 1024)
+        assert fortis.n_data_blocks < plain.n_data_blocks
+
+
+class TestInodeChecksums:
+    def test_slot_checksum_written_at_creat(self):
+        fs = make_fortis()
+        fs.creat("/f")
+        ino = fs.inodes[0].children["f"]
+        buf = fs.ops.read_pm(fs.geom.inode_addr(ino), L.INODE_SLOT_SIZE)
+        assert read_u32(buf, L.INO_CSUM) == NovaFortisFS._slot_csum(buf)
+
+    def test_checksum_follows_commit_pointer(self):
+        fs = make_fortis()
+        fs.creat("/f")
+        fs.write("/f", 0, b"x" * 512)  # bumps the file inode's count
+        ino = fs.inodes[0].children["f"]
+        buf = fs.ops.read_pm(fs.geom.inode_addr(ino), L.INODE_SLOT_SIZE)
+        assert read_u32(buf, L.INO_CSUM) == NovaFortisFS._slot_csum(buf)
+
+    def test_corrupt_checksum_makes_inode_unreadable(self):
+        fs = make_fortis()
+        fs.creat("/f")
+        fs.sync()
+        ino = fs.inodes[0].children["f"]
+        fs.device.write(fs.geom.inode_addr(ino) + L.INO_CSUM, b"\xff\xff\xff\xff")
+        mounted = NovaFortisFS.mount(fs.device, bugs=BugConfig.fixed())
+        with pytest.raises(FsError):
+            mounted.stat("/f")
+
+
+class TestReplicas:
+    def test_replica_matches_primary(self):
+        fs = make_fortis()
+        fs.creat("/f")
+        fs.write("/f", 0, b"y" * 300)
+        for ino in fs.inodes:
+            primary = fs.ops.read_pm(fs.geom.inode_addr(ino), L.INODE_SLOT_SIZE)
+            replica = fs.ops.read_pm(fs.geom.replica_addr(ino), L.INODE_SLOT_SIZE)
+            assert primary[: L.INO_CSUM + 4] == replica[: L.INO_CSUM + 4]
+
+    def test_fixed_unlink_heals_divergent_replica(self):
+        fs = make_fortis()
+        fs.creat("/f")
+        ino = fs.inodes[0].children["f"]
+        fs.device.write(fs.geom.replica_addr(ino) + L.INO_COUNT, b"\x63\x00\x00\x00")
+        fs.unlink("/f")  # heals and proceeds
+        assert not fs.exists("/f")
+
+    def test_buggy_unlink_refuses_on_divergence(self):
+        fs = make_fortis(bugs=BugConfig.only(10))
+        fs.creat("/f")
+        ino = fs.inodes[0].children["f"]
+        fs.device.write(fs.geom.replica_addr(ino) + L.INO_COUNT, b"\x63\x00\x00\x00")
+        with pytest.raises(FsError):
+            fs.unlink("/f")
+
+    def test_replica_invalidated_with_primary(self):
+        fs = make_fortis()
+        fs.creat("/f")
+        ino = fs.inodes[0].children["f"]
+        fs.unlink("/f")
+        assert fs.ops.read_pm(fs.geom.replica_addr(ino), 1) == b"\x00"
+
+
+class TestDataChecksums:
+    def test_entries_written_for_data_blocks(self):
+        fs = make_fortis()
+        fs.creat("/f")
+        fs.write("/f", 0, b"z" * 700)
+        di = fs.inodes[fs.inodes[0].children["f"]]
+        for fblk, block in di.blockmap.items():
+            entry = fs.ops.read_pm(fs.geom.csum_entry_addr(block), CSUM_ENTRY_SIZE)
+            assert read_u16(entry, 0) > 0
+
+    def test_reads_verify_after_mount(self):
+        fs = make_fortis()
+        fs.creat("/f")
+        fs.write("/f", 0, b"payload " * 64)
+        mounted = NovaFortisFS.mount(fs.device, bugs=BugConfig.fixed())
+        assert mounted.read_all("/f") == b"payload " * 64
+
+    def test_corrupted_data_detected_after_mount(self):
+        fs = make_fortis()
+        fs.creat("/f")
+        fs.write("/f", 0, b"payload " * 64)
+        di = fs.inodes[fs.inodes[0].children["f"]]
+        block = di.blockmap[0]
+        fs.device.write(fs.geom.block_addr(block), b"CORRUPT!")
+        mounted = NovaFortisFS.mount(fs.device, bugs=BugConfig.fixed())
+        with pytest.raises(FsError):
+            mounted.read("/f", 0, 8)
+
+    def test_no_verification_before_mount(self):
+        """The running (mkfs) instance trusts its own writes."""
+        fs = make_fortis()
+        fs.creat("/f")
+        fs.write("/f", 0, b"payload")
+        assert fs.read_all("/f") == b"payload"
+
+    def test_truncate_restamps_tail_checksum(self):
+        fs = make_fortis()
+        fs.creat("/f")
+        fs.write("/f", 0, b"q" * 1000)
+        fs.truncate("/f", 500)
+        mounted = NovaFortisFS.mount(fs.device, bugs=BugConfig.fixed())
+        assert mounted.read_all("/f") == b"q" * 500
+
+
+class TestPendingTruncate:
+    def test_record_cleared_after_truncate(self):
+        fs = make_fortis()
+        fs.creat("/f")
+        fs.write("/f", 0, b"r" * 1500)
+        fs.truncate("/f", 100)
+        assert fs.ops.read_pm(fs.geom.pending_truncate.offset, 1) == b"\x00"
+
+    def test_fixed_replay_tolerates_already_freed_blocks(self):
+        fs = make_fortis()
+        fs.creat("/f")
+        fs.write("/f", 0, b"s" * 1500)
+        di = fs.inodes[fs.inodes[0].children["f"]]
+        # Leave a pending record behind as if the crash hit after commit.
+        fs._truncate_begin(di, 100)
+        fs.truncate("/f", 100)
+        mounted = NovaFortisFS.mount(fs.device, bugs=BugConfig.fixed())
+        assert mounted.stat("/f").size == 100
+
+    def test_inherits_nova_bugs(self):
+        """Fortis carries every NOVA bug (paper section 5.1, Observation 4)."""
+        from repro.fs.bugs import bugs_for_fs
+
+        nova_bugs = {s.bug_id for s in bugs_for_fs("nova")}
+        fortis_bugs = {s.bug_id for s in bugs_for_fs("nova-fortis")}
+        assert nova_bugs <= fortis_bugs
+        assert fortis_bugs - nova_bugs == {9, 10, 11, 12}

@@ -1,0 +1,201 @@
+"""NOVA internals: log pages, journal commits, recovery details."""
+
+import pytest
+
+from repro.fs.bugs import BugConfig
+from repro.fs.nova import layout as L
+from repro.fs.nova.fs import ROOT_INO, NovaFS
+from repro.pm.device import PMDevice
+from repro.vfs.interface import MountError
+
+
+def make_nova(bugs=None, log_page_entries=4):
+    device = PMDevice(256 * 1024)
+    geom = L.NovaGeometry(device_size=device.size, log_page_entries=log_page_entries)
+    return NovaFS.mkfs(device, geometry=geom, bugs=bugs or BugConfig.fixed())
+
+
+class TestLayoutCodecs:
+    def test_superblock_roundtrip(self):
+        geom = L.NovaGeometry(device_size=128 * 1024, log_page_entries=5)
+        assert L.unpack_superblock(L.pack_superblock(geom)) == geom
+
+    def test_inode_slot_roundtrip(self):
+        slot = L.unpack_inode_slot(L.pack_inode_slot(L.FTYPE_REG, 0o640, 4096))
+        assert slot.valid and slot.ftype == L.FTYPE_REG
+        assert slot.mode == 0o640 and slot.log_head == 4096 and slot.log_count == 0
+
+    def test_attr_entry_roundtrip(self):
+        e = L.unpack_entry(L.pack_attr_entry(1234, 3, 0o600), 0)
+        assert (e.size, e.nlink, e.mode) == (1234, 3, 0o600)
+
+    def test_dentry_add_roundtrip(self):
+        e = L.unpack_entry(L.pack_dentry_add(7, "file.txt"), 64)
+        assert e.ino == 7 and e.name == "file.txt" and e.dentry_valid
+        assert e.addr == 64
+
+    def test_write_entry_roundtrip(self):
+        e = L.unpack_entry(L.pack_write_entry(100, 900, 42, 2), 0)
+        assert (e.offset, e.length, e.start_block, e.n_blocks) == (100, 900, 42, 2)
+
+    def test_link_change_negative_delta(self):
+        e = L.unpack_entry(L.pack_link_change(-1), 0)
+        assert e.delta == -1
+
+    def test_invalid_entry_type_rejected(self):
+        with pytest.raises(ValueError):
+            L.unpack_entry(bytes(64), 0)
+
+    def test_journal_pairs_roundtrip(self):
+        pairs = [(1, 10), (2, 20)]
+        packed = L.pack_journal_pairs(pairs)
+        buf = bytes(L.JR_PAIRS) + packed
+        assert L.unpack_journal_pairs(buf, 2) == pairs
+
+    def test_too_many_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            L.pack_journal_pairs([(i, i) for i in range(9)])
+
+    def test_geometry_validates_page_entries(self):
+        with pytest.raises(ValueError):
+            L.NovaGeometry(log_page_entries=100)
+
+
+class TestLogPages:
+    def test_overflow_allocates_new_page(self):
+        fs = make_nova(log_page_entries=4)
+        root = fs.inodes[ROOT_INO]
+        assert len(root.pages) == 1
+        for name in "abcde":  # 5 dentry entries on the root log
+            fs.creat(f"/{name}")
+        assert len(root.pages) == 2
+
+    def test_chain_survives_remount(self):
+        fs = make_nova(log_page_entries=4)
+        for name in "abcdefgh":
+            fs.creat(f"/{name}")
+        mounted = NovaFS.mount(fs.device, bugs=BugConfig.fixed())
+        assert mounted.inodes[ROOT_INO].pages == fs.inodes[ROOT_INO].pages
+        assert mounted.walk() == fs.walk()
+
+    def test_commit_pointer_tracks_entries(self):
+        fs = make_nova()
+        fs.creat("/f")
+        root = fs.inodes[ROOT_INO]
+        assert root.log_count == 1
+        assert root.pending == 0
+
+
+class TestJournal:
+    def test_journal_clear_after_commit(self):
+        fs = make_nova()
+        fs.creat("/f")
+        jaddr = fs.geom.journal.offset
+        assert fs.device.read(jaddr, 1) == b"\x00"
+
+    def test_rename_is_single_transaction(self):
+        fs = make_nova()
+        fs.mkdir("/A")
+        fs.creat("/foo")
+        before = fs.ops.counters.fences
+        fs.rename("/foo", "/A/bar")
+        # Fixed cross-directory rename: one journaled commit.
+        assert fs.ops.counters.fences - before <= 6
+
+    def test_committed_journal_replayed_on_mount(self):
+        """A journal left committed (crash between commit and count update)
+        must be redone at mount."""
+        fs = make_nova()
+        fs.creat("/f")
+        snapshot_before = fs.device.snapshot()
+        # Hand-craft a committed journal: pretend /g's dentry entry was
+        # appended (entry written, counts not yet updated).
+        root = fs.inodes[ROOT_INO]
+        addr = fs._append(root, L.pack_dentry_add(fs.inodes[fs.inodes[ROOT_INO].children["f"]].ino, "g"))
+        jaddr = fs.geom.journal.offset
+        fs._flush_write(jaddr + L.JR_PAIRS, L.pack_journal_pairs([(ROOT_INO, root.next_index)]))
+        fs._flush_write(jaddr + L.JR_NPAIRS, bytes([1]))
+        fs._flush_write(jaddr + L.JR_COMMIT, b"\x01")
+        fs._fence()
+        mounted = NovaFS.mount(fs.device, bugs=BugConfig.fixed())
+        assert "g" in mounted.readdir("/")
+        # Journal cleared after redo.
+        assert mounted.device.read(jaddr, 1) == b"\x00"
+
+
+class TestRecoveryValidation:
+    def test_bad_log_head_unmountable(self):
+        fs = make_nova()
+        fs.creat("/f")
+        # Corrupt the root inode's log head pointer.
+        fs.device.write(fs.geom.inode_addr(ROOT_INO) + L.INO_LOG_HEAD, b"\xff" * 8)
+        with pytest.raises(MountError):
+            NovaFS.mount(fs.device, bugs=BugConfig.fixed())
+
+    def test_count_beyond_entries_unmountable(self):
+        fs = make_nova()
+        fs.creat("/f")
+        # Inflate the commit pointer past the written entries.
+        from repro.fs.common.layout import u32
+
+        fs.device.write(fs.geom.inode_addr(ROOT_INO) + L.INO_COUNT, u32(9))
+        with pytest.raises(MountError):
+            NovaFS.mount(fs.device, bugs=BugConfig.fixed())
+
+    def test_missing_root_unmountable(self):
+        fs = make_nova()
+        fs.device.write(fs.geom.inode_addr(ROOT_INO), b"\x00")
+        with pytest.raises(MountError):
+            NovaFS.mount(fs.device, bugs=BugConfig.fixed())
+
+    def test_orphan_file_completed_at_mount(self):
+        """An inode whose link count reached zero but whose slot was never
+        invalidated (crash in unlink) is cleaned up by recovery."""
+        fs = make_nova()
+        fs.creat("/f")
+        ino = fs.inodes[ROOT_INO].children["f"]
+        # Commit the unlink transaction but "crash" before slot invalidation:
+        # emulate by performing the journal part by hand.
+        fs._append(fs.inodes[ROOT_INO], L.pack_dentry_del(ino, "f"))
+        fs._append(fs.inodes[ino], L.pack_link_change(-1))
+        fs._commit_journal([fs.inodes[ROOT_INO], fs.inodes[ino]])
+        mounted = NovaFS.mount(fs.device, bugs=BugConfig.fixed())
+        assert not mounted.exists("/f")
+        # The slot was invalidated by the orphan pass.
+        assert mounted.device.read(fs.geom.inode_addr(ino), 1) == b"\x00"
+
+
+class TestDataPaths:
+    def test_cow_write_allocates_fresh_blocks(self):
+        fs = make_nova()
+        fs.creat("/f")
+        fs.write("/f", 0, b"a" * 512)
+        first = dict(fs.inodes[fs.inodes[ROOT_INO].children["f"]].blockmap)
+        fs.write("/f", 0, b"b" * 512)
+        second = dict(fs.inodes[fs.inodes[ROOT_INO].children["f"]].blockmap)
+        assert first[0] != second[0]
+
+    def test_blocks_freed_on_truncate(self):
+        fs = make_nova()
+        fs.creat("/f")
+        free_before = fs.alloc.free_count
+        fs.write("/f", 0, b"a" * 2048)
+        fs.truncate("/f", 0)
+        assert fs.alloc.free_count == free_before
+
+    def test_blocks_freed_on_unlink(self):
+        fs = make_nova()
+        free_before = fs.alloc.free_count
+        fs.creat("/f")
+        fs.write("/f", 0, b"a" * 2048)
+        fs.unlink("/f")
+        # The file's log page is freed along with its data blocks.
+        assert fs.alloc.free_count == free_before
+
+    def test_fallocate_appends_write_entries(self):
+        fs = make_nova()
+        fs.creat("/f")
+        fs.fallocate("/f", 0, 1024)
+        di = fs.inodes[fs.inodes[ROOT_INO].children["f"]]
+        assert di.size == 1024
+        assert set(di.blockmap) == {0, 1}

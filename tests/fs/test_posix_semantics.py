@@ -1,0 +1,468 @@
+"""POSIX semantics battery, run against every file system.
+
+Each test here executes against all seven simulated file systems via the
+``fs`` fixture — the cross-implementation contract that the Chipmunk oracle
+and checker rely on.
+"""
+
+import pytest
+
+from repro.vfs.errors import (
+    EEXIST,
+    EFBIG,
+    EINVAL,
+    EISDIR,
+    ENOENT,
+    ENOTDIR,
+    ENOTEMPTY,
+)
+from repro.vfs.types import FileType
+
+
+class TestCreat:
+    def test_creates_empty_file(self, fs):
+        fs.creat("/foo")
+        st = fs.stat("/foo")
+        assert st.ftype is FileType.REGULAR
+        assert st.size == 0
+        assert st.nlink == 1
+
+    def test_appears_in_readdir(self, fs):
+        fs.creat("/foo")
+        assert fs.readdir("/") == ["foo"]
+
+    def test_duplicate_rejected(self, fs):
+        fs.creat("/foo")
+        with pytest.raises(EEXIST):
+            fs.creat("/foo")
+
+    def test_missing_parent_rejected(self, fs):
+        with pytest.raises(ENOENT):
+            fs.creat("/nodir/foo")
+
+    def test_parent_is_file_rejected(self, fs):
+        fs.creat("/foo")
+        with pytest.raises(ENOTDIR):
+            fs.creat("/foo/bar")
+
+    def test_in_subdirectory(self, fs):
+        fs.mkdir("/A")
+        fs.creat("/A/foo")
+        assert fs.readdir("/A") == ["foo"]
+
+
+class TestMkdirRmdir:
+    def test_mkdir(self, fs):
+        fs.mkdir("/A")
+        st = fs.stat("/A")
+        assert st.ftype is FileType.DIRECTORY
+        assert st.nlink == 2
+
+    def test_parent_nlink_grows(self, fs):
+        base = fs.stat("/").nlink
+        fs.mkdir("/A")
+        assert fs.stat("/").nlink == base + 1
+
+    def test_nested(self, fs):
+        fs.mkdir("/A")
+        fs.mkdir("/A/B")
+        assert fs.stat("/A").nlink == 3
+        assert fs.readdir("/A") == ["B"]
+
+    def test_duplicate_rejected(self, fs):
+        fs.mkdir("/A")
+        with pytest.raises(EEXIST):
+            fs.mkdir("/A")
+
+    def test_rmdir_empty(self, fs):
+        fs.mkdir("/A")
+        fs.rmdir("/A")
+        assert not fs.exists("/A")
+
+    def test_rmdir_restores_parent_nlink(self, fs):
+        base = fs.stat("/").nlink
+        fs.mkdir("/A")
+        fs.rmdir("/A")
+        assert fs.stat("/").nlink == base
+
+    def test_rmdir_nonempty_rejected(self, fs):
+        fs.mkdir("/A")
+        fs.creat("/A/foo")
+        with pytest.raises(ENOTEMPTY):
+            fs.rmdir("/A")
+
+    def test_rmdir_file_rejected(self, fs):
+        fs.creat("/foo")
+        with pytest.raises(ENOTDIR):
+            fs.rmdir("/foo")
+
+    def test_rmdir_root_rejected(self, fs):
+        with pytest.raises(EINVAL):
+            fs.rmdir("/")
+
+    def test_rmdir_missing_rejected(self, fs):
+        with pytest.raises(ENOENT):
+            fs.rmdir("/A")
+
+
+class TestWriteRead:
+    def test_simple_roundtrip(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 0, b"hello world")
+        assert fs.read("/f", 0, 11) == b"hello world"
+        assert fs.stat("/f").size == 11
+
+    def test_multi_block(self, fs):
+        fs.creat("/f")
+        data = bytes(range(256)) * 5  # 1280 bytes, > 2 blocks
+        fs.write("/f", 0, data)
+        assert fs.read_all("/f") == data
+
+    def test_overwrite_middle(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 0, b"a" * 1024)
+        fs.write("/f", 100, b"B" * 50)
+        content = fs.read_all("/f")
+        assert content[:100] == b"a" * 100
+        assert content[100:150] == b"B" * 50
+        assert content[150:] == b"a" * 874
+
+    def test_sparse_write_reads_zeros(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 1000, b"end")
+        assert fs.stat("/f").size == 1003
+        assert fs.read("/f", 0, 10) == b"\x00" * 10
+
+    def test_unaligned_offset(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 0, b"x" * 600)
+        fs.write("/f", 3, b"ABC")
+        assert fs.read("/f", 0, 8) == b"xxxABCxx"
+
+    def test_read_past_eof_truncated(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 0, b"short")
+        assert fs.read("/f", 0, 100) == b"short"
+        assert fs.read("/f", 100, 10) == b""
+
+    def test_empty_write_is_noop(self, fs):
+        fs.creat("/f")
+        assert fs.write("/f", 0, b"") == 0
+        assert fs.stat("/f").size == 0
+
+    def test_append_helper(self, fs):
+        fs.creat("/f")
+        fs.append("/f", b"one")
+        fs.append("/f", b"two")
+        assert fs.read_all("/f") == b"onetwo"
+
+    def test_write_to_directory_rejected(self, fs):
+        fs.mkdir("/A")
+        with pytest.raises(EISDIR):
+            fs.write("/A", 0, b"x")
+
+    def test_write_missing_file_rejected(self, fs):
+        with pytest.raises(ENOENT):
+            fs.write("/nope", 0, b"x")
+
+    def test_negative_offset_rejected(self, fs):
+        fs.creat("/f")
+        with pytest.raises(EINVAL):
+            fs.write("/f", -1, b"x")
+
+    def test_huge_write_rejected(self, fs):
+        fs.creat("/f")
+        with pytest.raises(EFBIG):
+            fs.write("/f", 0, b"x" * (64 * 1024 * 1024))
+
+
+class TestTruncate:
+    def test_shrink(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 0, b"0123456789" * 100)
+        fs.truncate("/f", 500)
+        assert fs.stat("/f").size == 500
+        assert fs.read_all("/f") == (b"0123456789" * 100)[:500]
+
+    def test_extend_reads_zeros(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 0, b"abc")
+        fs.truncate("/f", 10)
+        assert fs.read_all("/f") == b"abc" + b"\x00" * 7
+
+    def test_shrink_then_extend_zeroes_tail(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 0, b"x" * 1000)
+        fs.truncate("/f", 100)
+        fs.truncate("/f", 200)
+        content = fs.read_all("/f")
+        assert content[:100] == b"x" * 100
+        assert content[100:] == b"\x00" * 100
+
+    def test_to_zero(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 0, b"data")
+        fs.truncate("/f", 0)
+        assert fs.stat("/f").size == 0
+
+    def test_same_size_noop(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 0, b"data")
+        fs.truncate("/f", 4)
+        assert fs.read_all("/f") == b"data"
+
+    def test_negative_rejected(self, fs):
+        fs.creat("/f")
+        with pytest.raises(EINVAL):
+            fs.truncate("/f", -1)
+
+    def test_directory_rejected(self, fs):
+        fs.mkdir("/A")
+        with pytest.raises(EISDIR):
+            fs.truncate("/A", 0)
+
+
+class TestFallocate:
+    def test_extends_size(self, fs):
+        fs.creat("/f")
+        fs.fallocate("/f", 0, 700)
+        assert fs.stat("/f").size == 700
+        assert fs.read_all("/f") == b"\x00" * 700
+
+    def test_preserves_existing_data(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 0, b"keepme")
+        fs.fallocate("/f", 0, 1000)
+        assert fs.read("/f", 0, 6) == b"keepme"
+
+    def test_interior_range_keeps_size(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 0, b"y" * 1200)
+        fs.fallocate("/f", 100, 200)
+        assert fs.stat("/f").size == 1200
+        assert fs.read_all("/f") == b"y" * 1200
+
+    def test_zero_length_rejected(self, fs):
+        fs.creat("/f")
+        with pytest.raises(EINVAL):
+            fs.fallocate("/f", 0, 0)
+
+
+class TestLinkUnlink:
+    def test_link_shares_content(self, fs):
+        fs.creat("/foo")
+        fs.write("/foo", 0, b"shared")
+        fs.link("/foo", "/bar")
+        assert fs.read_all("/bar") == b"shared"
+        assert fs.stat("/foo").nlink == 2
+        assert fs.stat("/foo").ino == fs.stat("/bar").ino
+
+    def test_write_via_link_visible(self, fs):
+        fs.creat("/foo")
+        fs.link("/foo", "/bar")
+        fs.write("/bar", 0, b"via-link")
+        assert fs.read_all("/foo") == b"via-link"
+
+    def test_link_to_existing_name_rejected(self, fs):
+        fs.creat("/foo")
+        fs.creat("/bar")
+        with pytest.raises(EEXIST):
+            fs.link("/foo", "/bar")
+
+    def test_link_directory_rejected(self, fs):
+        fs.mkdir("/A")
+        with pytest.raises(EISDIR):
+            fs.link("/A", "/B")
+
+    def test_unlink_one_of_two(self, fs):
+        fs.creat("/foo")
+        fs.write("/foo", 0, b"data")
+        fs.link("/foo", "/bar")
+        fs.unlink("/foo")
+        assert not fs.exists("/foo")
+        assert fs.read_all("/bar") == b"data"
+        assert fs.stat("/bar").nlink == 1
+
+    def test_unlink_last_link_frees(self, fs):
+        fs.creat("/foo")
+        fs.write("/foo", 0, b"x" * 1024)
+        fs.unlink("/foo")
+        assert not fs.exists("/foo")
+        assert fs.readdir("/") == []
+
+    def test_unlink_missing_rejected(self, fs):
+        with pytest.raises(ENOENT):
+            fs.unlink("/foo")
+
+    def test_unlink_directory_rejected(self, fs):
+        fs.mkdir("/A")
+        with pytest.raises(EISDIR):
+            fs.unlink("/A")
+
+    def test_remove_dispatches(self, fs):
+        fs.creat("/foo")
+        fs.mkdir("/A")
+        fs.remove("/foo")
+        fs.remove("/A")
+        assert fs.readdir("/") == []
+
+
+class TestRename:
+    def test_same_directory(self, fs):
+        fs.creat("/foo")
+        fs.write("/foo", 0, b"content")
+        fs.rename("/foo", "/bar")
+        assert not fs.exists("/foo")
+        assert fs.read_all("/bar") == b"content"
+
+    def test_cross_directory(self, fs):
+        fs.mkdir("/A")
+        fs.creat("/foo")
+        fs.rename("/foo", "/A/bar")
+        assert fs.readdir("/A") == ["bar"]
+        assert not fs.exists("/foo")
+
+    def test_overwrite_file(self, fs):
+        fs.creat("/foo")
+        fs.write("/foo", 0, b"new")
+        fs.creat("/bar")
+        fs.write("/bar", 0, b"old")
+        fs.rename("/foo", "/bar")
+        assert fs.read_all("/bar") == b"new"
+        assert not fs.exists("/foo")
+
+    def test_overwrite_empty_directory(self, fs):
+        fs.mkdir("/A")
+        fs.mkdir("/B")
+        fs.rename("/A", "/B")
+        assert fs.exists("/B")
+        assert not fs.exists("/A")
+        assert fs.stat("/B").ftype is FileType.DIRECTORY
+
+    def test_overwrite_nonempty_directory_rejected(self, fs):
+        fs.mkdir("/A")
+        fs.mkdir("/B")
+        fs.creat("/B/x")
+        with pytest.raises(ENOTEMPTY):
+            fs.rename("/A", "/B")
+
+    def test_file_over_directory_rejected(self, fs):
+        fs.creat("/foo")
+        fs.mkdir("/A")
+        with pytest.raises(EISDIR):
+            fs.rename("/foo", "/A")
+
+    def test_directory_over_file_rejected(self, fs):
+        fs.mkdir("/A")
+        fs.creat("/foo")
+        with pytest.raises(ENOTDIR):
+            fs.rename("/A", "/foo")
+
+    def test_directory_move_updates_nlinks(self, fs):
+        fs.mkdir("/A")
+        fs.mkdir("/B")
+        fs.mkdir("/A/C")
+        fs.rename("/A/C", "/B/C")
+        assert fs.stat("/A").nlink == 2
+        assert fs.stat("/B").nlink == 3
+
+    def test_into_own_subtree_rejected(self, fs):
+        fs.mkdir("/A")
+        fs.mkdir("/A/B")
+        with pytest.raises(EINVAL):
+            fs.rename("/A", "/A/B/C")
+
+    def test_rename_to_self_is_noop(self, fs):
+        fs.creat("/foo")
+        fs.write("/foo", 0, b"same")
+        fs.rename("/foo", "/foo")
+        assert fs.read_all("/foo") == b"same"
+
+    def test_missing_source_rejected(self, fs):
+        with pytest.raises(ENOENT):
+            fs.rename("/foo", "/bar")
+
+    def test_directory_contents_move_with_it(self, fs):
+        fs.mkdir("/A")
+        fs.creat("/A/f")
+        fs.write("/A/f", 0, b"inside")
+        fs.mkdir("/B")
+        fs.rename("/A", "/B/A2")
+        assert fs.read_all("/B/A2/f") == b"inside"
+
+
+class TestWalk:
+    def test_walk_includes_everything(self, fs):
+        fs.mkdir("/A")
+        fs.creat("/A/f")
+        fs.creat("/g")
+        tree = fs.walk()
+        assert set(tree) == {"/", "/A", "/A/f", "/g"}
+
+    def test_walk_captures_content(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 0, b"observable")
+        assert fs.walk()["/f"].content == b"observable"
+
+    def test_exists(self, fs):
+        assert fs.exists("/")
+        assert not fs.exists("/nope")
+
+
+class TestPathEdgeCases:
+    def test_name_too_long_rejected(self, fs):
+        with pytest.raises(EINVAL):
+            fs.creat("/" + "x" * 100)
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(EINVAL):
+            fs.stat("foo")
+
+    def test_dot_components_rejected(self, fs):
+        with pytest.raises(EINVAL):
+            fs.creat("/a/../b")
+
+    def test_root_stat(self, fs):
+        st = fs.stat("/")
+        assert st.ftype is FileType.DIRECTORY
+        assert st.nlink >= 2
+
+    def test_deep_nesting(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/a/b")
+        fs.mkdir("/a/b/c")
+        fs.creat("/a/b/c/f")
+        fs.write("/a/b/c/f", 0, b"deep")
+        assert fs.read_all("/a/b/c/f") == b"deep"
+        assert fs.stat("/a/b").nlink == 3
+
+    def test_lookup_through_file_rejected(self, fs):
+        fs.creat("/f")
+        with pytest.raises(ENOTDIR):
+            fs.stat("/f/child")
+
+
+class TestIdempotentReplays:
+    def test_create_delete_create_same_name(self, fs):
+        for fill in (b"one", b"two", b"three"):
+            fs.creat("/cycle")
+            fs.write("/cycle", 0, fill)
+            assert fs.read_all("/cycle") == fill
+            fs.unlink("/cycle")
+        assert fs.readdir("/") == []
+
+    def test_mkdir_rmdir_cycle(self, fs):
+        for _ in range(3):
+            fs.mkdir("/d")
+            fs.creat("/d/f")
+            fs.unlink("/d/f")
+            fs.rmdir("/d")
+        assert fs.readdir("/") == []
+
+    def test_many_small_files(self, fs):
+        for i in range(12):
+            fs.creat(f"/f{i:02d}")
+            fs.write(f"/f{i:02d}", 0, bytes([i]) * 32)
+        assert len(fs.readdir("/")) == 12
+        for i in range(12):
+            assert fs.read_all(f"/f{i:02d}") == bytes([i]) * 32

@@ -1,0 +1,127 @@
+"""Remount equivalence: DRAM state rebuilt at mount must match the state
+before a clean unmount — the core recovery invariant (paper Observation 3),
+including a property-based version over random operation sequences.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import ALL_FS, make_fixed_fs, remount
+from repro.vfs.errors import FsError
+from repro.workloads.ops import Op, execute_op
+
+
+class TestRemountBasics:
+    def test_empty_fs(self, fs):
+        fs.sync()
+        assert remount(fs).walk() == fs.walk()
+
+    def test_tree_with_data(self, fs):
+        fs.mkdir("/A")
+        fs.creat("/A/f")
+        fs.write("/A/f", 0, b"persist me" * 50)
+        fs.creat("/g")
+        fs.link("/g", "/A/g2")
+        fs.sync()
+        assert remount(fs).walk() == fs.walk()
+
+    def test_after_deletes(self, fs):
+        fs.mkdir("/A")
+        fs.creat("/A/f")
+        fs.write("/A/f", 0, b"x" * 700)
+        fs.unlink("/A/f")
+        fs.rmdir("/A")
+        fs.sync()
+        assert remount(fs).walk() == fs.walk()
+
+    def test_after_rename_chain(self, fs):
+        fs.creat("/a")
+        fs.write("/a", 0, b"chain")
+        fs.rename("/a", "/b")
+        fs.rename("/b", "/c")
+        fs.sync()
+        mounted = remount(fs)
+        assert mounted.read_all("/c") == b"chain"
+        assert mounted.walk() == fs.walk()
+
+    def test_double_remount(self, fs):
+        fs.creat("/f")
+        fs.write("/f", 0, b"stable")
+        fs.sync()
+        first = remount(fs)
+        second = remount(first)
+        assert second.walk() == fs.walk()
+
+    def test_remount_then_mutate_then_remount(self, fs):
+        fs.creat("/f")
+        fs.sync()
+        m1 = remount(fs)
+        m1.write("/f", 0, b"after remount")
+        m1.truncate("/f", 5)
+        m1.sync()
+        m2 = remount(m1)
+        assert m2.walk() == m1.walk()
+        assert m2.read_all("/f") == b"after"
+
+
+class TestMountErrors:
+    def test_garbage_image_rejected(self, fs_name):
+        from repro.fs.registry import FS_CLASSES
+        from repro.pm.device import PMDevice
+        from repro.vfs.interface import MountError
+
+        device = PMDevice(256 * 1024)
+        device.write(0, b"\xde\xad\xbe\xef" * 16)
+        with pytest.raises(MountError):
+            FS_CLASSES()[fs_name].mount(device)
+
+
+# ---------------------------------------------------------------------------
+# Property-based remount equivalence over random workloads
+# ---------------------------------------------------------------------------
+
+_PATHS = ["/f0", "/f1", "/A/f0", "/A/f1"]
+_DIRS = ["/A", "/B"]
+
+_op_st = st.one_of(
+    st.tuples(st.just("creat"), st.sampled_from(_PATHS)).map(lambda t: Op(t[0], (t[1],))),
+    st.tuples(st.just("mkdir"), st.sampled_from(_DIRS)).map(lambda t: Op(t[0], (t[1],))),
+    st.tuples(st.just("rmdir"), st.sampled_from(_DIRS)).map(lambda t: Op(t[0], (t[1],))),
+    st.tuples(st.just("unlink"), st.sampled_from(_PATHS)).map(lambda t: Op(t[0], (t[1],))),
+    st.tuples(
+        st.just("link"), st.sampled_from(_PATHS), st.sampled_from(_PATHS)
+    ).map(lambda t: Op(t[0], (t[1], t[2]))),
+    st.tuples(
+        st.just("rename"), st.sampled_from(_PATHS), st.sampled_from(_PATHS)
+    ).map(lambda t: Op(t[0], (t[1], t[2]))),
+    st.tuples(
+        st.just("write"),
+        st.sampled_from(_PATHS),
+        st.integers(0, 1200),
+        st.integers(0, 255),
+        st.integers(1, 900),
+    ).map(lambda t: Op(t[0], t[1:])),
+    st.tuples(
+        st.just("truncate"), st.sampled_from(_PATHS), st.integers(0, 1500)
+    ).map(lambda t: Op(t[0], t[1:])),
+    st.tuples(
+        st.just("fallocate"),
+        st.sampled_from(_PATHS),
+        st.integers(0, 1000),
+        st.integers(1, 800),
+    ).map(lambda t: Op(t[0], t[1:])),
+)
+
+
+@pytest.mark.parametrize("fs_name", ALL_FS)
+@given(ops=st.lists(_op_st, min_size=1, max_size=10))
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_workload_remount_equivalence(fs_name, ops):
+    """After any op sequence and a sync, remount rebuilds identical state."""
+    fs = make_fixed_fs(fs_name)
+    for op in ops:
+        execute_op(fs, op)
+    fs.sync()
+    mounted = remount(fs)
+    assert mounted.walk() == fs.walk()

@@ -1,0 +1,150 @@
+"""SplitFS: op log, staging, checkpoint, replay."""
+
+import pytest
+
+from repro.fs.bugs import BugConfig
+from repro.fs.splitfs import fs as S
+from repro.fs.splitfs.fs import SplitFS
+from repro.pm.device import PMDevice
+
+
+def make_splitfs(bugs=None):
+    return SplitFS.mkfs(PMDevice(256 * 1024), bugs=bugs or BugConfig.fixed())
+
+
+class TestGeometry:
+    def test_superblock_roundtrip(self):
+        geom = S.SplitfsGeometry(device_size=128 * 1024, oplog_blocks=8)
+        assert S.unpack_superblock(S.pack_superblock(geom)) == geom
+
+    def test_kernel_region_after_staging(self):
+        geom = S.SplitfsGeometry()
+        assert geom.kernel_origin == geom.staging.end
+        assert geom.kernel_origin + geom.kernel_size == geom.device_size
+
+
+class TestOpLogEntries:
+    def test_entry_checksum_valid(self):
+        fs = make_splitfs()
+        body = fs._build_entry(S.ET_CREAT, "/foo", mode=0o644)
+        assert fs._entry_csum_ok(body)
+
+    def test_tampered_entry_rejected(self):
+        fs = make_splitfs()
+        body = bytearray(fs._build_entry(S.ET_CREAT, "/foo"))
+        body[S.OE_PATH1] ^= 0xFF
+        assert not fs._entry_csum_ok(bytes(body))
+
+    def test_inline_tail_in_declared_length(self):
+        fs = make_splitfs()
+        body = fs._build_entry(S.ET_WRITE, "/f", length=13, inline=b"abc")
+        from repro.fs.common.layout import read_u16
+
+        assert read_u16(body, S.OE_DECLARED_LEN) == S.BASE_DECLARED_LEN + 3
+        assert fs._entry_csum_ok(body)
+
+    def test_bug23_rejects_unaligned_inline(self):
+        fixed = make_splitfs()
+        body = fixed._build_entry(S.ET_WRITE, "/f", length=11, inline=b"a")
+        buggy = make_splitfs(bugs=BugConfig.only(23))
+        # The buggy replay checksums the padded length and rejects it.
+        assert fixed._entry_csum_ok(body)
+        assert not buggy._entry_csum_ok(body)
+
+    def test_bug23_accepts_aligned_entries(self):
+        buggy = make_splitfs(bugs=BugConfig.only(23))
+        body = buggy._build_entry(S.ET_CREAT, "/foo")
+        assert buggy._entry_csum_ok(body)
+
+    def test_oversized_inline_rejected(self):
+        fs = make_splitfs()
+        with pytest.raises(ValueError):
+            fs._build_entry(S.ET_WRITE, "/f", inline=b"x" * 8)
+
+
+class TestOpLogReplay:
+    def test_metadata_ops_replayed(self):
+        fs = make_splitfs()
+        fs.mkdir("/A")
+        fs.creat("/A/f")
+        fs.rename("/A/f", "/A/g")
+        mounted = SplitFS.mount(fs.device, bugs=BugConfig.fixed())
+        assert mounted.readdir("/A") == ["g"]
+
+    def test_write_data_recovered_from_staging(self):
+        fs = make_splitfs()
+        fs.creat("/f")
+        fs.write("/f", 0, b"staged data " * 30)
+        mounted = SplitFS.mount(fs.device, bugs=BugConfig.fixed())
+        assert mounted.read_all("/f") == b"staged data " * 30
+
+    def test_unaligned_write_tail_recovered_inline(self):
+        fs = make_splitfs()
+        fs.creat("/f")
+        fs.write("/f", 0, b"1234567890123")  # 13 bytes: 8 staged + 5 inline
+        mounted = SplitFS.mount(fs.device, bugs=BugConfig.fixed())
+        assert mounted.read_all("/f") == b"1234567890123"
+
+    def test_uncommitted_entry_ignored(self):
+        fs = make_splitfs()
+        fs.creat("/f")
+        # Append an entry body but never set the commit byte.
+        addr = fs.geom.entry_addr(fs._next_entry)
+        fs.ops.splitfs_memcpy_nt(addr, fs._build_entry(S.ET_CREAT, "/ghost"))
+        fs.ops.splitfs_fence()
+        mounted = SplitFS.mount(fs.device, bugs=BugConfig.fixed())
+        assert not mounted.exists("/ghost")
+        assert mounted.exists("/f")
+
+    def test_replay_stops_at_torn_entry(self):
+        fs = make_splitfs()
+        fs.creat("/a")
+        fs.creat("/b")
+        # Corrupt entry 0's checksum: replay must stop there, dropping both.
+        addr = fs.geom.entry_addr(0)
+        fs.device.write(addr + S.OE_CSUM, b"\xff\xff\xff\xff")
+        mounted = SplitFS.mount(fs.device, bugs=BugConfig.fixed())
+        assert not mounted.exists("/a")
+        assert not mounted.exists("/b")
+
+    def test_replay_idempotent_after_checkpoint(self):
+        fs = make_splitfs()
+        fs.creat("/f")
+        fs.sync()  # checkpoint absorbs and clears the log
+        fs.creat("/g")
+        mounted = SplitFS.mount(fs.device, bugs=BugConfig.fixed())
+        assert mounted.exists("/f") and mounted.exists("/g")
+
+
+class TestCheckpoint:
+    def test_log_cleared(self):
+        fs = make_splitfs()
+        fs.creat("/f")
+        fs.sync()
+        assert fs._next_entry == 0
+        assert fs.ops.read_pm(fs.geom.entry_addr(0), 1) == b"\x00"
+
+    def test_triggered_by_log_exhaustion(self):
+        fs = make_splitfs()
+        fs.creat("/f")
+        for i in range(fs.geom.n_entries + 5):
+            fs.truncate("/f", i % 7)
+        mounted = SplitFS.mount(fs.device, bugs=BugConfig.fixed())
+        assert mounted.stat("/f").size == (fs.geom.n_entries + 4) % 7
+
+    def test_staging_reset(self):
+        fs = make_splitfs()
+        fs.creat("/f")
+        fs.write("/f", 0, b"x" * 1024)
+        assert fs._next_stage > 0
+        fs.sync()
+        assert fs._next_stage == 0
+
+
+class TestProbeTargets:
+    def test_both_components_probed(self):
+        fs = make_splitfs()
+        targets = fs.probe_targets
+        assert len(targets) == 2
+        assert targets[0] is fs.ops
+        assert targets[1] is fs.kfs.ops

@@ -1,0 +1,109 @@
+"""End-to-end campaigns: ACE finds the ACE-findable bugs, the fuzzer finds a
+fuzzer-only bug, triage dedups, and the paper's headline relationships hold
+on small budgets.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis.bugdb import TRIGGERS
+from repro.core import Chipmunk, ChipmunkConfig
+from repro.fs.bugs import BUG_REGISTRY, BugConfig
+from repro.workloads import ace
+from repro.workloads.fuzzer import WorkloadFuzzer
+from repro.workloads.ops import Op
+
+
+class TestAceCampaign:
+    def test_ace_seq2_finds_nova_rename_bugs(self):
+        """Running real ACE seq-2 workloads (not hand-picked triggers)
+        exposes the rename atomicity bugs."""
+        cm = Chipmunk("nova", bugs=BugConfig.only(4, 5))
+        found = set()
+        for w in ace.generate(2):
+            ops = [op.name for op in w.core]
+            if "rename" not in ops:
+                continue
+            result = cm.test_workload(w.core, setup=w.setup)
+            if result.buggy:
+                found.add(result.clusters[0].exemplar.syscall_name)
+                if len(found) >= 1:
+                    break
+        assert "rename" in found
+
+    def test_ace_misses_fuzzer_only_bug(self):
+        """ACE's aligned workloads cannot trigger the flush-rounding bug."""
+        cm = Chipmunk("pmfs", bugs=BugConfig.only(17))
+        for w in itertools.islice(ace.generate(2), 0, None, 11):
+            result = cm.test_workload(w.core, setup=w.setup)
+            assert not result.buggy, w.name()
+
+
+class TestFuzzerCampaign:
+    def test_fuzzer_finds_fuzzer_only_bug(self):
+        cm = Chipmunk("splitfs", bugs=BugConfig.only(23))
+        fuzzer = WorkloadFuzzer(cm, seed=7)
+        stats = fuzzer.run(max_executions=600, stop_after_clusters=1)
+        assert stats.clusters >= 1
+
+    def test_fuzzer_triage_dedups(self):
+        """Many buggy executions collapse into few clusters."""
+        cm = Chipmunk("nova", bugs=BugConfig.only(5))
+        fuzzer = WorkloadFuzzer(cm, seed=9)
+        stats = fuzzer.run(max_executions=250)
+        if stats.reports:
+            assert stats.clusters <= max(3, stats.reports // 2)
+
+
+class TestBugCounts:
+    def test_nova_bugs_have_distinct_signatures(self):
+        """Reports from different NOVA bugs land in different triage
+        clusters (one Chipmunk campaign per bug, as in iterative bug
+        hunting — enabling everything at once lets dominant bugs like the
+        dangling-dentry creat bug shadow the rest)."""
+        from repro.core.triage import Triage
+
+        triage = Triage()
+        for bug_id in (2, 4, 5, 7):
+            cm = Chipmunk("nova", bugs=BugConfig.only(bug_id))
+            for w in TRIGGERS[bug_id]:
+                result = cm.test_workload(w)
+                if result.reports:
+                    triage.add(result.clusters[0].exemplar)
+                    break
+        assert len(triage.clusters) >= 3
+
+    def test_ext4_dax_finds_nothing(self):
+        """Paper section 4.4: zero bugs in ext4-DAX/XFS-DAX."""
+        for fs_name in ("ext4-dax", "xfs-dax"):
+            cm = Chipmunk(fs_name, bugs=BugConfig.fixed())
+            for w in itertools.islice(ace.generate(1, mode="fsync"), 0, None, 3):
+                assert not cm.test_workload(w.core, setup=w.setup).buggy
+
+
+class TestObservation7:
+    def test_inflight_counts_small_for_metadata_ops(self):
+        """Average in-flight units for metadata ops is small (paper: ~3,
+        max 10)."""
+        cm = Chipmunk("nova", bugs=BugConfig.fixed())
+        workload = [
+            Op("mkdir", ("/A",)),
+            Op("creat", ("/A/f",)),
+            Op("link", ("/A/f", "/g")),
+            Op("rename", ("/g", "/h")),
+            Op("unlink", ("/h",)),
+        ]
+        result = cm.test_workload(workload)
+        counts = [c for values in result.inflight.values() for c in values]
+        assert counts
+        assert max(counts) <= 10
+        assert sum(counts) / len(counts) <= 5
+
+    def test_data_write_coalesced_to_one_unit(self):
+        """A 1 KiB write is one replay unit, not 128 (section 3.2)."""
+        cm = Chipmunk("nova", bugs=BugConfig.fixed())
+        result = cm.test_workload(
+            [Op("creat", ("/f",)), Op("write", ("/f", 0, 0x41, 1024))]
+        )
+        assert max(result.inflight["write"]) <= 4

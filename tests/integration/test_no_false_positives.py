@@ -1,0 +1,106 @@
+"""The central soundness property: Chipmunk reports nothing on fixed file
+systems, for ACE workloads and for arbitrary random workloads.
+
+A false positive here would mean either a checker bug or a genuine
+crash-consistency hole in one of the "fixed" implementations — both must be
+fixed, never suppressed.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import STRONG_FS
+from repro.core import Chipmunk, ChipmunkConfig
+from repro.fs.bugs import BugConfig
+from repro.workloads import ace
+from repro.workloads.ops import Op
+
+
+class TestAceSweepsClean:
+    @pytest.mark.parametrize("fs_name", STRONG_FS)
+    def test_all_seq1_clean(self, fs_name):
+        cm = Chipmunk(fs_name, bugs=BugConfig.fixed())
+        for w in ace.generate(1):
+            result = cm.test_workload(w.core, setup=w.setup)
+            assert not result.buggy, (w.name(), result.summary())
+
+    @pytest.mark.parametrize("fs_name", ["ext4-dax", "xfs-dax"])
+    def test_all_seq1_fsync_mode_clean(self, fs_name):
+        cm = Chipmunk(fs_name, bugs=BugConfig.fixed())
+        for w in ace.generate(1, mode="fsync"):
+            result = cm.test_workload(w.core, setup=w.setup)
+            assert not result.buggy, (w.name(), result.summary())
+
+    @pytest.mark.parametrize("fs_name", STRONG_FS)
+    def test_sampled_seq2_clean(self, fs_name):
+        cm = Chipmunk(fs_name, bugs=BugConfig.fixed())
+        for w in itertools.islice(ace.generate(2), 0, None, 53):
+            result = cm.test_workload(w.core, setup=w.setup)
+            assert not result.buggy, (w.name(), result.summary())
+
+    def test_sampled_seq3_clean_on_nova(self):
+        cm = Chipmunk("nova", bugs=BugConfig.fixed())
+        for w in itertools.islice(ace.generate(3), 0, None, 457):
+            result = cm.test_workload(w.core, setup=w.setup)
+            assert not result.buggy, (w.name(), result.summary())
+
+
+_PATHS = ("/f0", "/f1", "/A/f0", "/A/f1")
+_DIRS = ("/A", "/B")
+
+_random_op = st.one_of(
+    st.sampled_from([Op("creat", (p,)) for p in _PATHS]),
+    st.sampled_from([Op("mkdir", (d,)) for d in _DIRS]),
+    st.sampled_from([Op("rmdir", (d,)) for d in _DIRS]),
+    st.sampled_from([Op("unlink", (p,)) for p in _PATHS]),
+    st.tuples(st.sampled_from(_PATHS), st.sampled_from(_PATHS)).map(
+        lambda t: Op("link", t)
+    ),
+    st.tuples(st.sampled_from(_PATHS), st.sampled_from(_PATHS)).map(
+        lambda t: Op("rename", t)
+    ),
+    st.tuples(
+        st.sampled_from(_PATHS),
+        st.integers(0, 1200),
+        st.integers(0, 255),
+        st.integers(1, 800),
+    ).map(lambda t: Op("write", t)),
+    st.tuples(st.sampled_from(_PATHS), st.integers(0, 1500)).map(
+        lambda t: Op("truncate", t)
+    ),
+    st.tuples(
+        st.sampled_from(_PATHS), st.integers(0, 900), st.integers(1, 600)
+    ).map(lambda t: Op("fallocate", t)),
+)
+
+
+@pytest.mark.parametrize("fs_name", STRONG_FS)
+@given(ops=st.lists(_random_op, min_size=1, max_size=6))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_workloads_never_report_on_fixed_fs(fs_name, ops):
+    """Property: no crash state of a fixed file system violates the checker,
+    for any workload (unaligned offsets and sizes included)."""
+    cm = Chipmunk(fs_name, bugs=BugConfig.fixed(), config=ChipmunkConfig(cap=2))
+    result = cm.test_workload(ops)
+    assert not result.buggy, result.summary()
+
+
+@pytest.mark.parametrize("fs_name", STRONG_FS)
+@given(ops=st.lists(_random_op, min_size=1, max_size=4))
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_workloads_uncapped(fs_name, ops):
+    """Same property with no replay cap (exhaustive subsets)."""
+    cm = Chipmunk(fs_name, bugs=BugConfig.fixed(), config=ChipmunkConfig(cap=None))
+    result = cm.test_workload(ops)
+    assert not result.buggy, result.summary()

@@ -1,0 +1,51 @@
+"""Cost model: latency accounting over operation counters."""
+
+from repro.pm.costmodel import CostModel, OpCounters
+
+
+class TestOpCounters:
+    def test_snapshot_is_independent(self):
+        c = OpCounters(nt_stores=1)
+        snap = c.snapshot()
+        c.nt_stores = 5
+        assert snap.nt_stores == 1
+
+    def test_delta(self):
+        a = OpCounters(nt_stores=2, flushes=3, fences=1)
+        b = OpCounters(nt_stores=5, flushes=4, fences=3)
+        d = b.delta(a)
+        assert (d.nt_stores, d.flushes, d.fences) == (3, 1, 2)
+
+
+class TestCostModel:
+    def test_zero_counters_zero_cost(self):
+        assert CostModel().cost_ns(OpCounters()) == 0.0
+
+    def test_nt_bulk_cost_scales_with_lines(self):
+        model = CostModel()
+        one_line = model.cost_ns(OpCounters(nt_stores=1, nt_bytes=64))
+        four_lines = model.cost_ns(OpCounters(nt_stores=1, nt_bytes=256))
+        assert four_lines == 4 * one_line
+
+    def test_small_store_charged_one_line(self):
+        model = CostModel()
+        tiny = model.cost_ns(OpCounters(nt_stores=1, nt_bytes=8))
+        assert tiny == model.nt_store_per_line_ns
+
+    def test_reads_dominate(self):
+        model = CostModel()
+        read = model.cost_ns(OpCounters(reads=1, read_bytes=64))
+        flush = model.cost_ns(OpCounters(flushes=1))
+        assert read > flush
+
+    def test_additivity(self):
+        model = CostModel()
+        a = OpCounters(flushes=2)
+        b = OpCounters(fences=3)
+        combined = OpCounters(flushes=2, fences=3)
+        assert model.cost_ns(combined) == model.cost_ns(a) + model.cost_ns(b)
+
+    def test_cost_us_conversion(self):
+        model = CostModel()
+        c = OpCounters(fences=1000)
+        assert abs(model.cost_us(c) - model.cost_ns(c) / 1000.0) < 1e-9

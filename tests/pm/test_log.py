@@ -1,0 +1,105 @@
+"""PMLog: entries, syscall markers, introspection."""
+
+import pytest
+
+from repro.pm.log import Fence, Flush, NTStore, PMLog, SyscallBegin, SyscallEnd
+
+
+@pytest.fixture
+def log():
+    return PMLog()
+
+
+class TestAppenders:
+    def test_nt_store_records_copy(self, log):
+        data = bytearray(b"abc")
+        log.nt_store(10, data, "f")
+        data[0] = ord("x")
+        entry = log.entries[0]
+        assert isinstance(entry, NTStore)
+        assert entry.data == b"abc"
+        assert entry.addr == 10
+        assert entry.func == "f"
+
+    def test_flush_entry(self, log):
+        log.flush(64, b"\x00" * 64, "flushfn")
+        entry = log.entries[0]
+        assert isinstance(entry, Flush)
+        assert entry.length == 64
+
+    def test_fence_entry(self, log):
+        log.fence()
+        assert isinstance(log.entries[0], Fence)
+
+    def test_entry_lengths(self):
+        assert NTStore(0, b"abcd", "f").length == 4
+        assert Flush(0, b"ab", "f").length == 2
+
+
+class TestSyscallMarkers:
+    def test_entries_tagged_with_syscall(self, log):
+        log.syscall_begin(0, "creat", "/foo")
+        log.nt_store(0, b"x", "f")
+        log.fence()
+        log.syscall_end()
+        log.nt_store(0, b"y", "f")
+        assert log.entries[1].syscall == 0
+        assert log.entries[2].syscall == 0
+        assert log.entries[4].syscall is None
+
+    def test_begin_end_markers(self, log):
+        log.syscall_begin(3, "rename", "'/a', '/b'")
+        log.syscall_end()
+        begin, end = log.entries
+        assert isinstance(begin, SyscallBegin) and begin.index == 3
+        assert isinstance(end, SyscallEnd) and end.name == "rename"
+
+    def test_end_without_begin_rejected(self, log):
+        with pytest.raises(ValueError):
+            log.syscall_end()
+
+    def test_syscall_names(self, log):
+        for i, name in enumerate(["creat", "write", "rename"]):
+            log.syscall_begin(i, name)
+            log.syscall_end()
+        assert log.syscall_names() == ["creat", "write", "rename"]
+
+
+class TestIntrospection:
+    def test_len_and_iter(self, log):
+        log.nt_store(0, b"a", "f")
+        log.fence()
+        assert len(log) == 2
+        assert len(list(log)) == 2
+
+    def test_writes_filters_markers(self, log):
+        log.syscall_begin(0, "x")
+        log.nt_store(0, b"a", "f")
+        log.flush(0, b"b", "g")
+        log.fence()
+        log.syscall_end()
+        assert len(log.writes()) == 2
+
+    def test_fence_count(self, log):
+        log.fence()
+        log.fence()
+        assert log.fence_count() == 2
+
+    def test_clear(self, log):
+        log.syscall_begin(0, "x")
+        log.nt_store(0, b"a", "f")
+        log.clear()
+        assert len(log) == 0
+        assert log.current_syscall is None
+
+    def test_describe_runs(self, log):
+        log.syscall_begin(0, "creat", "/f")
+        log.nt_store(0, b"a", "f")
+        log.flush(0, b"a", "g")
+        log.fence()
+        log.syscall_end()
+        text = log.describe()
+        assert "SYSCALL_BEGIN" in text
+        assert "NT(" in text
+        assert "FLUSH(" in text
+        assert "FENCE" in text

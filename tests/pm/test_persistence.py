@@ -1,0 +1,122 @@
+"""PersistenceOps: primitives, specs, counters."""
+
+import pytest
+
+from repro.pm.device import PMDevice
+from repro.pm.persistence import (
+    PersistenceOps,
+    PersistenceSpec,
+    get_spec,
+    persistence_function,
+    spec_map,
+)
+
+
+@pytest.fixture
+def ops():
+    return PersistenceOps(PMDevice(4096))
+
+
+class TestPrimitives:
+    def test_memcpy_nt_writes(self, ops):
+        ops.memcpy_nt(0, b"hello")
+        assert ops.device.read(0, 5) == b"hello"
+
+    def test_memset_nt_fills(self, ops):
+        ops.memset_nt(10, 0xAB, 20)
+        assert ops.device.read(10, 20) == b"\xab" * 20
+
+    def test_store_cached_writes(self, ops):
+        ops.store_cached(0, b"xy")
+        assert ops.device.read(0, 2) == b"xy"
+
+    def test_flush_range_validates(self, ops):
+        with pytest.raises(Exception):
+            ops.flush_range(4090, 100)
+
+    def test_read_pm(self, ops):
+        ops.memcpy_nt(5, b"data")
+        assert ops.read_pm(5, 4) == b"data"
+
+
+class TestCounters:
+    def test_nt_counters(self, ops):
+        ops.memcpy_nt(0, b"x" * 100)
+        ops.memset_nt(200, 0, 50)
+        assert ops.counters.nt_stores == 2
+        assert ops.counters.nt_bytes == 150
+
+    def test_flush_counts_lines(self, ops):
+        ops.flush_range(0, 1)
+        ops.flush_range(0, 200)
+        assert ops.counters.flushes == 1 + 4
+
+    def test_fence_counter(self, ops):
+        ops.sfence()
+        ops.sfence()
+        assert ops.counters.fences == 2
+
+    def test_read_counters(self, ops):
+        ops.read_pm(0, 128)
+        assert ops.counters.reads == 1
+        assert ops.counters.read_bytes == 128
+
+    def test_cached_store_counter(self, ops):
+        ops.store_cached(0, b"ab")
+        assert ops.counters.cached_stores == 1
+
+
+class TestSpecs:
+    def test_base_specs_discoverable(self, ops):
+        specs = spec_map(ops)
+        assert specs["memcpy_nt"].kind == "nt_store"
+        assert specs["memset_nt"].kind == "nt_store"
+        assert specs["flush_range"].kind == "flush"
+        assert specs["sfence"].kind == "fence"
+
+    def test_decode_data_arg(self):
+        spec = PersistenceSpec("nt_store", addr_arg=0, data_arg=1)
+        assert spec.decode((100, b"abcd")) == (100, 4)
+
+    def test_decode_length_arg(self):
+        spec = PersistenceSpec("nt_store", addr_arg=0, length_arg=2)
+        assert spec.decode((100, 0, 32)) == (100, 32)
+
+    def test_decode_fence(self):
+        assert PersistenceSpec("fence").decode(()) == (0, 0)
+
+    def test_untagged_function_rejected(self, ops):
+        with pytest.raises(ValueError):
+            get_spec(ops, "store_cached")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            persistence_function("bogus")
+
+    def test_nt_store_needs_addr(self):
+        with pytest.raises(ValueError):
+            persistence_function("nt_store")
+
+    def test_nt_store_needs_size_info(self):
+        with pytest.raises(ValueError):
+            persistence_function("nt_store", addr_arg=0)
+
+
+class TestFsSpecificNames:
+    """Every file system's declared persistence functions must be tagged."""
+
+    @pytest.mark.parametrize(
+        "fs_name",
+        ["nova", "nova-fortis", "pmfs", "winefs", "splitfs", "ext4-dax", "xfs-dax"],
+    )
+    def test_declared_names_resolve(self, fs_name):
+        from repro.fs.registry import FS_CLASSES
+
+        cls = FS_CLASSES()[fs_name]
+        ops = cls.ops_class(PMDevice(4096))
+        specs = spec_map(ops)
+        assert specs, fs_name
+        kinds = set(s.kind for s in specs.values())
+        # Every FS exposes at least a store-side primitive and a fence.
+        assert "fence" in kinds
+        assert "nt_store" in kinds

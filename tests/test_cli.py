@@ -1,0 +1,72 @@
+"""CLI (`python -m repro`) behaviour."""
+
+import pytest
+
+from repro.__main__ import _parse_op, build_parser, main
+from repro.workloads.ops import Op
+
+
+class TestOpParsing:
+    def test_path_only(self):
+        assert _parse_op("creat /foo") == Op("creat", ("/foo",))
+
+    def test_mixed_args(self):
+        assert _parse_op("write /foo 0 65 512") == Op("write", ("/foo", 0, 65, 512))
+
+    def test_two_paths(self):
+        assert _parse_op("rename /a /b") == Op("rename", ("/a", "/b"))
+
+    def test_empty_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_op("")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_fs_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["test", "not-a-fs"])
+
+
+class TestCommands:
+    def test_list_bugs(self, capsys):
+        assert main(["list-bugs"]) == 0
+        out = capsys.readouterr().out
+        assert "Rename atomicity broken" in out
+        assert out.count("\n") >= 25
+
+    def test_test_clean_exit_zero(self, capsys):
+        code = main(["test", "nova", "--fixed", "--op", "creat /f"])
+        assert code == 0
+        assert "0 report(s)" in capsys.readouterr().out
+
+    def test_test_buggy_exit_one(self, capsys):
+        code = main(
+            [
+                "test",
+                "nova",
+                "--bugs",
+                "5",
+                "--op",
+                "creat /foo",
+                "--op",
+                "rename /foo /bar",
+            ]
+        )
+        assert code == 1
+        assert "BUG [nova]" in capsys.readouterr().out
+
+    def test_ace_campaign_fixed(self, capsys):
+        code = main(["ace", "nova", "--fixed", "--max-workloads", "10"])
+        assert code == 0
+        assert "10 workloads" in capsys.readouterr().out
+
+    def test_fuzz_smoke(self, capsys):
+        code = main(["fuzz", "nova", "--fixed", "--seconds", "1", "--seed", "3"])
+        assert code == 0
+        assert "executions" in capsys.readouterr().out

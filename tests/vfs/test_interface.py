@@ -1,0 +1,73 @@
+"""FileObservation and VFS value types."""
+
+import pytest
+
+from repro.vfs.errors import EEXIST, ENOENT, FsError
+from repro.vfs.interface import FileObservation
+from repro.vfs.types import FileType, Stat
+
+
+class TestErrors:
+    def test_errno_names(self):
+        assert ENOENT("x").errno_name == "ENOENT"
+        assert EEXIST().errno_name == "EEXIST"
+        assert FsError().errno_name == "EIO"
+
+    def test_message_included(self):
+        assert "/foo" in str(ENOENT("/foo"))
+
+    def test_hierarchy(self):
+        assert isinstance(ENOENT(), FsError)
+
+
+class TestStat:
+    def test_describe(self):
+        st = Stat(3, FileType.REGULAR, 100, 2, 0o644)
+        text = st.describe()
+        assert "ino=3" in text and "size=100" in text and "nlink=2" in text
+
+    def test_frozen(self):
+        st = Stat(1, FileType.DIRECTORY, 0, 2, 0o755)
+        with pytest.raises(Exception):
+            st.size = 5  # type: ignore[misc]
+
+
+class TestFileObservation:
+    def _file(self, content=b"abc", size=None, nlink=1, mode=0o644):
+        st = Stat(1, FileType.REGULAR, size if size is not None else len(content), nlink, mode)
+        return FileObservation.for_file(st, content)
+
+    def _dir(self, entries=("a", "b"), nlink=2):
+        st = Stat(1, FileType.DIRECTORY, 512, nlink, 0o755)
+        return FileObservation.for_dir(st, list(entries))
+
+    def test_file_equality(self):
+        assert self._file() == self._file()
+
+    def test_content_difference_detected(self):
+        assert self._file(b"abc") != self._file(b"abd")
+
+    def test_nlink_difference_detected(self):
+        assert self._file(nlink=1) != self._file(nlink=2)
+
+    def test_dir_entries_sorted(self):
+        assert self._dir(("b", "a")) == self._dir(("a", "b"))
+
+    def test_dir_vs_file_not_equal(self):
+        assert self._dir() != self._file()
+
+    def test_hashable(self):
+        assert len({self._file(), self._file()}) == 1
+
+    def test_matches_metadata_ignores_content(self):
+        a, b = self._file(b"abc"), self._file(b"xyz")
+        assert a.matches_metadata(b)
+
+    def test_matches_metadata_checks_nlink(self):
+        assert not self._file(nlink=1).matches_metadata(self._file(nlink=2))
+
+    def test_describe_file(self):
+        assert "size=3" in self._file().describe()
+
+    def test_describe_dir(self):
+        assert "entries=" in self._dir().describe()

@@ -1,0 +1,97 @@
+"""Path helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vfs.errors import EINVAL
+from repro.vfs.path import (
+    basename,
+    dirname,
+    is_ancestor,
+    normalize,
+    split_parent,
+    split_path,
+)
+
+name_st = st.text(alphabet="abcXYZ09_", min_size=1, max_size=8)
+path_st = st.lists(name_st, min_size=0, max_size=4).map(lambda parts: "/" + "/".join(parts))
+
+
+class TestNormalize:
+    def test_root(self):
+        assert normalize("/") == "/"
+
+    def test_collapses_slashes(self):
+        assert normalize("//a///b") == "/a/b"
+
+    def test_strips_trailing_slash(self):
+        assert normalize("/a/b/") == "/a/b"
+
+    def test_relative_rejected(self):
+        with pytest.raises(EINVAL):
+            normalize("a/b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(EINVAL):
+            normalize("")
+
+    def test_dotdot_rejected(self):
+        with pytest.raises(EINVAL):
+            normalize("/a/../b")
+
+    def test_dot_rejected(self):
+        with pytest.raises(EINVAL):
+            normalize("/a/./b")
+
+    @given(path_st)
+    @settings(max_examples=50)
+    def test_idempotent(self, path):
+        assert normalize(normalize(path)) == normalize(path)
+
+
+class TestSplit:
+    def test_split_root(self):
+        assert split_path("/") == []
+
+    def test_split_nested(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+
+    def test_dirname_basename(self):
+        assert dirname("/a/b/c") == "/a/b"
+        assert basename("/a/b/c") == "c"
+        assert dirname("/a") == "/"
+        assert basename("/") == ""
+
+    def test_split_parent(self):
+        assert split_parent("/a/b") == ("/a", "b")
+        assert split_parent("/a") == ("/", "a")
+
+    def test_split_parent_root_rejected(self):
+        with pytest.raises(EINVAL):
+            split_parent("/")
+
+    @given(path_st.filter(lambda p: p != "/"))
+    @settings(max_examples=50)
+    def test_parent_plus_base_reconstructs(self, path):
+        parent, base = split_parent(path)
+        rebuilt = (parent.rstrip("/") or "") + "/" + base
+        assert normalize(rebuilt) == normalize(path)
+
+
+class TestAncestry:
+    def test_root_is_ancestor_of_all(self):
+        assert is_ancestor("/", "/a/b")
+
+    def test_self_is_ancestor(self):
+        assert is_ancestor("/a", "/a")
+
+    def test_direct_child(self):
+        assert is_ancestor("/a", "/a/b")
+
+    def test_sibling_not_ancestor(self):
+        assert not is_ancestor("/a", "/ab")
+        assert not is_ancestor("/a/b", "/a/c")
+
+    def test_child_not_ancestor_of_parent(self):
+        assert not is_ancestor("/a/b", "/a")

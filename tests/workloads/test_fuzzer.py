@@ -1,0 +1,105 @@
+"""Coverage map and gray-box fuzzer behaviour (deterministic, small runs)."""
+
+import pytest
+
+from repro.core import Chipmunk
+from repro.fs.bugs import BugConfig
+from repro.workloads.coverage import CoverageMap, GlobalCoverage
+from repro.workloads.fuzzer import WorkloadFuzzer
+from repro.workloads.ops import Op
+
+
+class TestCoverageMap:
+    def test_hits_counted(self):
+        cov = CoverageMap()
+        cov.hit("a")
+        cov.hit("a")
+        cov.hit("b")
+        assert cov.hits == {"a": 2, "b": 1}
+        assert cov.points() == frozenset({"a", "b"})
+        assert len(cov) == 2
+
+    def test_reset(self):
+        cov = CoverageMap()
+        cov.hit("a")
+        cov.reset()
+        assert len(cov) == 0
+
+    def test_global_accumulator(self):
+        acc = GlobalCoverage()
+        assert acc.add(frozenset({"a", "b"})) == 2
+        assert acc.add(frozenset({"b", "c"})) == 1
+        assert len(acc) == 3
+
+
+class TestGeneration:
+    def _fuzzer(self, seed=0):
+        cm = Chipmunk("nova", bugs=BugConfig.fixed())
+        return WorkloadFuzzer(cm, seed=seed)
+
+    def test_deterministic_given_seed(self):
+        a = self._fuzzer(seed=5)
+        b = self._fuzzer(seed=5)
+        assert [a.random_op() for _ in range(20)] == [b.random_op() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = self._fuzzer(seed=1)
+        b = self._fuzzer(seed=2)
+        assert [a.random_op() for _ in range(20)] != [b.random_op() for _ in range(20)]
+
+    def test_programs_within_length_bounds(self):
+        fz = self._fuzzer()
+        for _ in range(50):
+            assert 1 <= len(fz.random_program()) <= 8
+
+    def test_generates_unaligned_arguments(self):
+        """The fuzzer must produce the non-8-byte-aligned writes ACE omits
+        (how the four fuzzer-only bugs are reached, section 4.3)."""
+        fz = self._fuzzer()
+        ops = [fz.random_op() for _ in range(300)]
+        writes = [op for op in ops if op.name == "write"]
+        assert any(op.args[3] % 8 for op in writes)
+        assert any(op.args[1] % 8 for op in writes)
+
+    def test_mutation_preserves_validity(self):
+        fz = self._fuzzer()
+        program = fz.random_program()
+        mutated = fz.mutate(program)
+        assert 1 <= len(mutated) <= 8
+        assert all(isinstance(op, Op) for op in mutated)
+
+
+class TestFeedbackLoop:
+    def test_corpus_grows_with_coverage(self):
+        cm = Chipmunk("nova", bugs=BugConfig.fixed())
+        fz = WorkloadFuzzer(cm, seed=3)
+        fz.run(max_executions=25)
+        assert fz.stats.corpus_size > 0
+        assert fz.stats.coverage_points > 0
+
+    def test_seed_workloads_used(self):
+        cm = Chipmunk("nova", bugs=BugConfig.fixed())
+        seeds = [[Op("creat", ("/foo",))]]
+        fz = WorkloadFuzzer(cm, seed=3, seeds=seeds)
+        assert fz.corpus == seeds
+
+    def test_fixed_fs_produces_no_clusters(self):
+        cm = Chipmunk("nova", bugs=BugConfig.fixed())
+        fz = WorkloadFuzzer(cm, seed=4)
+        stats = fz.run(max_executions=40)
+        assert stats.clusters == 0
+
+    def test_buggy_fs_found_and_stop_early(self):
+        cm = Chipmunk("nova", bugs=BugConfig.only(5))  # rename bug
+        fz = WorkloadFuzzer(cm, seed=11)
+        stats = fz.run(max_executions=500, stop_after_clusters=1)
+        assert stats.clusters >= 1
+        assert stats.cluster_found_at  # (execution, time) recorded
+
+    def test_stats_consistency(self):
+        cm = Chipmunk("nova", bugs=BugConfig.fixed())
+        fz = WorkloadFuzzer(cm, seed=6)
+        stats = fz.run(max_executions=10)
+        assert stats.executions == 10
+        assert stats.crash_states > 0
+        assert stats.elapsed > 0

@@ -1,0 +1,52 @@
+"""Workload sharding for parallel campaigns."""
+
+import itertools
+
+import pytest
+
+from repro.workloads.ace import count
+from repro.workloads.sharding import shard, shard_sizes
+
+
+class TestShard:
+    def test_shards_are_disjoint_and_exhaustive(self):
+        n = 4
+        seen = set()
+        for i in range(n):
+            indices = {w.index for w in shard(1, n, i)}
+            assert not (seen & indices)
+            seen |= indices
+        assert len(seen) == count(1)
+
+    def test_single_shard_is_everything(self):
+        assert sum(1 for _ in shard(1, 1, 0)) == count(1)
+
+    def test_limit(self):
+        assert sum(1 for _ in shard(2, 10, 3, limit=5)) == 5
+
+    def test_deterministic(self):
+        a = [w.index for w in itertools.islice(shard(2, 10, 7), 20)]
+        b = [w.index for w in itertools.islice(shard(2, 10, 7), 20)]
+        assert a == b
+
+    def test_bad_shard_index_rejected(self):
+        with pytest.raises(ValueError):
+            next(shard(1, 4, 4))
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            next(shard(1, 0, 0))
+
+
+class TestShardSizes:
+    def test_sizes_sum_to_total(self):
+        assert sum(shard_sizes(2, 10)) == count(2)
+
+    def test_sizes_balanced(self):
+        sizes = shard_sizes(3, 10)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_matches_actual_generation(self):
+        sizes = shard_sizes(1, 3)
+        for i, expected in enumerate(sizes):
+            assert sum(1 for _ in shard(1, 3, i)) == expected
