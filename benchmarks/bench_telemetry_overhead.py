@@ -1,0 +1,86 @@
+"""Telemetry overhead on the record/replay/check pipeline.
+
+Policy (DESIGN.md, Observability): telemetry must be pay-for-what-you-use.
+With the default null telemetry the pipeline may regress < 10% against the
+uninstrumented call shape, and full instrumentation (spans, counters,
+device telemetry, trace events) should stay a small fraction of pipeline
+time — the work per crash state (mount + walk + compare) dwarfs a span's
+two ``perf_counter`` reads.
+
+Measures ``bench_micro``'s 5-op pipeline workload three ways and prints the
+comparison table.
+"""
+
+import pytest
+
+from conftest import best_of, print_table, run_once
+
+from repro.core import Chipmunk
+from repro.fs.bugs import BugConfig
+from repro.obs import NullTelemetry, Telemetry
+
+from bench_micro import WORKLOAD
+
+ROUNDS = 7
+
+
+def _pipeline(telemetry=None):
+    cm = Chipmunk("nova", bugs=BugConfig.fixed(), telemetry=telemetry)
+
+    def run():
+        result = cm.test_workload(WORKLOAD)
+        assert not result.buggy
+
+    return run
+
+
+def test_bench_telemetry_overhead(benchmark):
+    """Instrumented vs null-telemetry pipeline cost."""
+
+    def experiment():
+        baseline = best_of(_pipeline(), rounds=ROUNDS)
+        disabled = best_of(_pipeline(NullTelemetry()), rounds=ROUNDS)
+        enabled = best_of(_pipeline(Telemetry()), rounds=ROUNDS)
+        return baseline, disabled, enabled
+
+    baseline, disabled, enabled = run_once(benchmark, experiment)
+
+    rows = [
+        ("default (null telemetry)", f"{baseline * 1000:.2f}", "1.00x"),
+        ("explicit NullTelemetry", f"{disabled * 1000:.2f}",
+         f"{disabled / baseline:.2f}x"),
+        ("full Telemetry", f"{enabled * 1000:.2f}",
+         f"{enabled / baseline:.2f}x"),
+    ]
+    print_table(
+        "Telemetry overhead: 5-op pipeline workload (nova, fixed)",
+        ("configuration", "best-of-%d (ms)" % ROUNDS, "relative"),
+        rows,
+    )
+
+    # Disabled telemetry is the default path; an explicit null object must
+    # not add measurable work (<10% is the DESIGN.md ceiling, with headroom
+    # for timer noise on a ~100ms measurement).
+    assert disabled < baseline * 1.10, (
+        f"null telemetry must stay within 10% of the default path "
+        f"({disabled * 1000:.2f}ms vs {baseline * 1000:.2f}ms)"
+    )
+    # Full instrumentation records per-syscall and per-crash-state spans,
+    # device counters, and a result event; it must remain a modest fraction
+    # of pipeline cost.
+    assert enabled < baseline * 1.5, (
+        f"enabled telemetry overhead out of bounds "
+        f"({enabled * 1000:.2f}ms vs {baseline * 1000:.2f}ms)"
+    )
+
+
+def test_bench_trace_export_cost(benchmark, tmp_path):
+    """Exporting a trace is off the hot path; this tracks its raw cost."""
+    tel = Telemetry()
+    cm = Chipmunk("nova", bugs=BugConfig.fixed(), telemetry=tel)
+    for _ in range(5):
+        cm.test_workload(WORKLOAD)
+    path = str(tmp_path / "bench.jsonl")
+
+    n = benchmark(tel.export_jsonl, path)
+    assert n > 0

@@ -39,6 +39,22 @@ def run_once(benchmark, func):
     return benchmark.pedantic(func, rounds=1, iterations=1)
 
 
+def best_of(func, rounds: int = 5, warmup: int = 1) -> float:
+    """Minimum wall time of ``func`` over ``rounds`` runs (after warm-up).
+
+    The minimum is the standard noise-robust estimator for comparing two
+    implementations of the same work (used by the telemetry-overhead bench).
+    """
+    for _ in range(warmup):
+        func()
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
 def chipmunk_for_bug(fs_name: str, bug_id: int, cap: Optional[int] = 2) -> Chipmunk:
     return Chipmunk(
         fs_name, bugs=BugConfig.only(bug_id), config=ChipmunkConfig(cap=cap)

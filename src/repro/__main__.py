@@ -11,6 +11,12 @@ Commands
     Run an ACE campaign (seq-1 and optionally seq-2) against a file system.
 ``fuzz``
     Run the gray-box fuzzer against a file system for a time budget.
+``stats``
+    Render a campaign summary from a JSONL trace written with ``--trace``.
+
+The testing commands accept ``--trace FILE`` (write a JSONL telemetry
+trace) and ``--metrics`` (print the metrics snapshot); the file system can
+be given positionally or with ``--fs``.
 
 Examples
 --------
@@ -21,21 +27,25 @@ Examples
     python -m repro test nova --bugs 4 --op "mkdir /A" --op "creat /foo" \
         --op "rename /foo /A/bar"
     python -m repro ace pmfs --seq 2 --max-workloads 500
+    python -m repro ace --fs nova --trace /tmp/t.jsonl
     python -m repro fuzz winefs --seconds 30 --seed 7
+    python -m repro stats /tmp/t.jsonl --chrome /tmp/t.chrome.json
 """
 
 from __future__ import annotations
 
 import argparse
 import itertools
+import json
 import sys
-import time
-from typing import List
+from typing import List, Optional
 
 from repro.core import Chipmunk, ChipmunkConfig
-from repro.core.triage import Triage
 from repro.fs.bugs import BUG_REGISTRY, BugConfig
 from repro.fs.registry import FS_CLASSES
+from repro.obs import Telemetry
+from repro.obs.campaign import CampaignStats
+from repro.obs.tracing import jsonl_to_chrome
 from repro.workloads import ace
 from repro.workloads.fuzzer import WorkloadFuzzer
 from repro.workloads.ops import Op
@@ -59,6 +69,44 @@ def _bug_config(fs_name: str, bug_ids: List[int], fixed: bool) -> BugConfig:
     return BugConfig.buggy(fs_name)
 
 
+def _telemetry_for(args, generator: str) -> Optional[Telemetry]:
+    """Build a Telemetry object when ``--trace``/``--metrics`` ask for one."""
+    if not getattr(args, "trace", None) and not getattr(args, "metrics", False):
+        return None
+    tel = Telemetry()
+    tel.meta.update(fs=args.fs, generator=generator)
+    tel.event("campaign_start", fs=args.fs, generator=generator)
+    return tel
+
+
+def _finish_telemetry(args, tel: Optional[Telemetry]) -> None:
+    """Export the trace and/or print the metrics snapshot, as requested."""
+    if tel is None:
+        return
+    if getattr(args, "trace", None):
+        try:
+            n = tel.export_jsonl(args.trace)
+        except OSError as exc:
+            print(
+                f"[telemetry] error: cannot write trace {args.trace!r}: "
+                f"{exc.strerror or exc}",
+                file=sys.stderr,
+            )
+        else:
+            print(f"[telemetry] wrote {n} trace record(s) to {args.trace}")
+    if getattr(args, "metrics", False):
+        print("[telemetry] metrics snapshot:")
+        for record in tel.metrics.snapshot():
+            if record["kind"] == "histogram":
+                print(
+                    f"  {record['name']}: count={record['count']} "
+                    f"sum={record['sum']:.6g} min={record['min']} "
+                    f"max={record['max']}"
+                )
+            else:
+                print(f"  {record['name']}: {record['value']}")
+
+
 def cmd_list_bugs(_args) -> int:
     print(f"{'id':>3}  {'file systems':<20} {'type':<6} consequence")
     print("-" * 78)
@@ -71,54 +119,60 @@ def cmd_list_bugs(_args) -> int:
 
 
 def cmd_test(args) -> int:
+    tel = _telemetry_for(args, "test")
     chipmunk = Chipmunk(
         args.fs,
         bugs=_bug_config(args.fs, args.bugs, args.fixed),
         config=ChipmunkConfig(cap=args.cap),
+        telemetry=tel,
     )
     result = chipmunk.test_workload(args.op or [Op("creat", ("/probe",))])
     print(result.summary())
     for cluster in result.clusters:
         print()
         print(cluster.describe())
+    _finish_telemetry(args, tel)
     return 1 if result.buggy else 0
 
 
 def cmd_ace(args) -> int:
+    tel = _telemetry_for(args, "ace")
     chipmunk = Chipmunk(
         args.fs,
         bugs=_bug_config(args.fs, args.bugs, args.fixed),
         config=ChipmunkConfig(cap=args.cap),
+        telemetry=tel,
     )
     mode = "pm" if FS_CLASSES()[args.fs].strong_guarantees else "fsync"
-    triage = Triage()
-    tested = states = 0
-    start = time.perf_counter()
+    stats = CampaignStats(fs_name=args.fs, generator="ace", telemetry=tel)
     for seq in range(1, args.seq + 1):
         workloads = ace.generate(seq, mode=mode)
         if args.max_workloads:
             workloads = itertools.islice(workloads, args.max_workloads)
         for w in workloads:
-            result = chipmunk.test_workload(w.core, setup=w.setup)
-            tested += 1
-            states += result.n_crash_states
-            triage.add_all(result.reports)
-    elapsed = time.perf_counter() - start
+            stats.add_result(chipmunk.test_workload(w.core, setup=w.setup))
     print(
-        f"{tested} workloads, {states} crash states, "
-        f"{len(triage.clusters)} clusters, {elapsed:.1f}s"
+        f"{stats.n_workloads} workloads, {stats.n_crash_states} crash states, "
+        f"{len(stats.clusters)} clusters, {stats.wall_time:.1f}s"
     )
-    for cluster in triage.clusters:
+    for cluster in stats.clusters:
         print()
         print(cluster.describe())
-    return 1 if triage.clusters else 0
+    _finish_telemetry(args, tel)
+    return 1 if stats.clusters else 0
 
 
 def cmd_fuzz(args) -> int:
+    tel = _telemetry_for(args, "fuzz")
+    if tel is not None:
+        # The seed lands in the trace header so a campaign is reproducible
+        # from its trace file alone.
+        tel.meta["seed"] = args.seed
     chipmunk = Chipmunk(
         args.fs,
         bugs=_bug_config(args.fs, args.bugs, args.fixed),
         config=ChipmunkConfig(cap=args.cap),
+        telemetry=tel,
     )
     fuzzer = WorkloadFuzzer(chipmunk, seed=args.seed)
     stats = fuzzer.run(time_budget=args.seconds)
@@ -130,7 +184,26 @@ def cmd_fuzz(args) -> int:
     for cluster in fuzzer.clusters:
         print()
         print(cluster.describe())
+    _finish_telemetry(args, tel)
     return 1 if stats.clusters else 0
+
+
+def cmd_stats(args) -> int:
+    try:
+        stats = CampaignStats.from_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        print(f"error: {args.trace!r} is not a JSONL telemetry trace: {exc}",
+              file=sys.stderr)
+        return 2
+    print(stats.render())
+    if args.chrome:
+        n = jsonl_to_chrome(args.trace, args.chrome)
+        print(f"\nwrote {n} Chrome trace event(s) to {args.chrome}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -144,7 +217,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-bugs", help="print the Table-1 bug catalogue")
 
     def add_common(p):
-        p.add_argument("fs", choices=sorted(FS_CLASSES()), help="file system")
+        p.add_argument(
+            "fs",
+            nargs="?",
+            choices=sorted(FS_CLASSES()),
+            help="file system (or use --fs)",
+        )
+        p.add_argument(
+            "--fs",
+            dest="fs_flag",
+            choices=sorted(FS_CLASSES()),
+            help="file system (alternative to the positional argument)",
+        )
+        p.add_argument(
+            "--trace",
+            metavar="FILE",
+            help="write a JSONL telemetry trace (see `python -m repro stats`)",
+        )
+        p.add_argument(
+            "--metrics",
+            action="store_true",
+            help="print the telemetry metrics snapshot after the run",
+        )
         p.add_argument(
             "--bugs",
             type=int,
@@ -174,17 +268,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz = sub.add_parser("fuzz", help="run the gray-box fuzzer")
     add_common(p_fuzz)
     p_fuzz.add_argument("--seconds", type=float, default=30.0)
-    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fuzzer RNG seed; recorded in the trace header so a campaign "
+        "is reproducible from its trace file",
+    )
+
+    p_stats = sub.add_parser(
+        "stats", help="render a campaign summary from a JSONL trace"
+    )
+    p_stats.add_argument("trace", help="trace file written with --trace")
+    p_stats.add_argument(
+        "--chrome",
+        metavar="OUT",
+        help="also convert the trace to a Chrome trace-event file "
+        "(load in chrome://tracing or Perfetto)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # The testing commands accept the file system positionally or via --fs.
+    if hasattr(args, "fs_flag"):
+        if args.fs is None:
+            args.fs = args.fs_flag
+        if args.fs is None:
+            parser.error(f"{args.command}: a file system is required "
+                         "(positional or --fs)")
     handlers = {
         "list-bugs": cmd_list_bugs,
         "test": cmd_test,
         "ace": cmd_ace,
         "fuzz": cmd_fuzz,
+        "stats": cmd_stats,
     }
     return handlers[args.command](args)
 

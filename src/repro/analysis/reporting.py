@@ -8,7 +8,6 @@ the workload, the crash point, and the divergence.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -26,15 +25,22 @@ class CampaignSummary:
     crash_states: int = 0
     unique_states: int = 0
     wall_time: float = 0.0
+    truncated_workloads: int = 0
     triage: Triage = field(default_factory=Triage)
     #: workload index at which each cluster was first seen
     first_seen: Dict[int, int] = field(default_factory=dict)
+    #: per-stage wall time summed over workloads (telemetry satellite data)
+    stage_totals: Dict[str, float] = field(default_factory=dict)
 
     def add_result(self, result: TestResult) -> None:
         self.workloads_tested += 1
         self.crash_states += result.n_crash_states
         self.unique_states += result.n_unique_states
         self.wall_time += result.elapsed
+        if getattr(result, "truncated", False):
+            self.truncated_workloads += 1
+        for stage, dt in getattr(result, "stage_times", {}).items():
+            self.stage_totals[stage] = self.stage_totals.get(stage, 0.0) + dt
         before = len(self.triage.clusters)
         self.triage.add_all(result.reports)
         for index in range(before, len(self.triage.clusters)):
@@ -59,6 +65,33 @@ def run_campaign(chipmunk, workloads, generator: str = "ace") -> CampaignSummary
     return summary
 
 
+def _telemetry_section(summary: CampaignSummary) -> List[str]:
+    """Markdown telemetry block: per-stage timings, throughput, dedup rate."""
+    if not summary.stage_totals:
+        return []
+    lines: List[str] = ["## Telemetry", ""]
+    if summary.wall_time > 0:
+        lines.append(
+            f"- **throughput:** {summary.crash_states / summary.wall_time:.1f} "
+            f"crash states/sec"
+        )
+    if summary.crash_states:
+        rate = 1.0 - summary.unique_states / summary.crash_states
+        lines.append(f"- **dedup hit-rate:** {rate * 100:.1f}%")
+    lines.append("")
+    lines.append("| stage | total (ms) | share |")
+    lines.append("| --- | ---: | ---: |")
+    total = sum(summary.stage_totals.values()) or 1.0
+    for stage in ("record", "oracle", "enumerate", "check", "triage"):
+        if stage in summary.stage_totals:
+            dt = summary.stage_totals[stage]
+            lines.append(
+                f"| {stage} | {dt * 1000:.1f} | {dt / total * 100:.1f}% |"
+            )
+    lines.append("")
+    return lines
+
+
 def render_markdown(summary: CampaignSummary, title: Optional[str] = None) -> str:
     """Render a campaign summary as a markdown report."""
     lines: List[str] = []
@@ -72,8 +105,14 @@ def render_markdown(summary: CampaignSummary, title: Optional[str] = None) -> st
         f"{summary.unique_states} unique checked"
     )
     lines.append(f"- **wall time:** {summary.wall_time:.1f}s")
+    if summary.truncated_workloads:
+        lines.append(
+            f"- **truncated workloads:** {summary.truncated_workloads} "
+            f"(hit the per-workload report cap; findings are a lower bound)"
+        )
     lines.append(f"- **findings:** {len(summary.clusters)} triaged cluster(s)")
     lines.append("")
+    lines.extend(_telemetry_section(summary))
     if not summary.clusters:
         lines.append("No crash-consistency violations found.")
         lines.append("")

@@ -54,17 +54,36 @@ class ConsistencyChecker:
         workload_desc: str,
         bugs=None,
         config: Optional[CheckerConfig] = None,
+        telemetry=None,
     ) -> None:
         self.fs_class = fs_class
         self.oracle = oracle
         self.workload_desc = workload_desc
         self.bugs = bugs
         self.config = config or CheckerConfig()
+        self.telemetry = telemetry if telemetry is not None and telemetry.enabled else None
 
     # ------------------------------------------------------------------
     def check(self, state: CrashState) -> List[BugReport]:
-        """Return every violation found in one crash state."""
-        device = PMDevice.from_snapshot(state.image)
+        """Return every violation found in one crash state.
+
+        When telemetry is attached, the per-state outcome breakdown is
+        counted under ``checker.outcome.*`` (``clean`` for a state with no
+        findings).
+        """
+        reports = self._check(state)
+        tel = self.telemetry
+        if tel is not None:
+            tel.count("checker.states_checked")
+            if not reports:
+                tel.count("checker.outcome.clean")
+            else:
+                for report in reports:
+                    tel.count("checker.outcome." + report.consequence.name.lower())
+        return reports
+
+    def _check(self, state: CrashState) -> List[BugReport]:
+        device = PMDevice.from_snapshot(state.image, telemetry=self.telemetry)
         try:
             fs = self.fs_class.mount(device, bugs=self.bugs)
         except MountError as exc:

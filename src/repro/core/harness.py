@@ -21,6 +21,7 @@ from repro.core.report import BugReport
 from repro.core.triage import Cluster, triage_reports
 from repro.fs.bugs import BugConfig
 from repro.fs.registry import fs_class as lookup_fs_class
+from repro.obs import NULL
 from repro.pm.device import PMDevice
 from repro.pm.log import PMLog
 from repro.vfs.interface import FileSystem
@@ -46,6 +47,10 @@ class ChipmunkConfig:
     crash_points: Optional[str] = None
 
 
+#: Pipeline stage keys of :attr:`TestResult.stage_times`, in execution order.
+STAGES = ("record", "oracle", "enumerate", "check", "triage")
+
+
 @dataclass
 class TestResult:
     """Outcome of testing one workload."""
@@ -58,8 +63,15 @@ class TestResult:
     n_fences: int
     log_length: int
     inflight: Dict[str, List[int]]
+    #: Total pipeline time; always the sum of :attr:`stage_times`.
     elapsed: float
     errnos: List[Optional[str]] = field(default_factory=list)
+    #: Per-stage wall time (keys from :data:`STAGES`), sourced from the
+    #: telemetry span layer.
+    stage_times: Dict[str, float] = field(default_factory=dict)
+    #: True when checking stopped early at ``max_reports_per_workload`` —
+    #: a capped campaign is not a clean one.
+    truncated: bool = False
 
     @property
     def buggy(self) -> bool:
@@ -72,6 +84,14 @@ class TestResult:
             f"{self.n_crash_states} crash states, {self.n_fences} fences, "
             f"{self.elapsed * 1000:.1f} ms"
         )
+        if self.truncated:
+            head += " [TRUNCATED at report cap]"
+        if self.stage_times:
+            head += "\n  stages: " + "  ".join(
+                f"{stage} {self.stage_times[stage] * 1000:.1f}ms"
+                for stage in STAGES
+                if stage in self.stage_times
+            )
         if not self.clusters:
             return head
         return head + "\n" + "\n".join(
@@ -88,10 +108,14 @@ class Chipmunk:
         fs: Union[str, Type[FileSystem]],
         bugs: Optional[BugConfig] = None,
         config: Optional[ChipmunkConfig] = None,
+        telemetry=None,
     ) -> None:
         self.fs_class = lookup_fs_class(fs) if isinstance(fs, str) else fs
         self.bugs = bugs if bugs is not None else BugConfig.buggy(self.fs_class.name)
         self.config = config or ChipmunkConfig()
+        #: Telemetry sink (:class:`repro.obs.Telemetry`); defaults to the
+        #: null object, which keeps the pipeline uninstrumented.
+        self.telemetry = telemetry if telemetry is not None else NULL
 
     # ------------------------------------------------------------------
     def record(self, workload: Workload, setup: Workload = (), coverage=None) -> tuple:
@@ -102,7 +126,11 @@ class Chipmunk:
         CrashMonkey/ACE).  ``coverage`` optionally attaches a
         :class:`~repro.workloads.coverage.CoverageMap` to the instance.
         """
-        device = PMDevice(self.config.device_size)
+        tel = self.telemetry
+        device = PMDevice(
+            self.config.device_size,
+            telemetry=tel if tel.enabled else None,
+        )
         fs = self.fs_class.mkfs(device, bugs=self.bugs)
         for op in setup:
             execute_op(fs, op)
@@ -114,10 +142,17 @@ class Chipmunk:
         probes.attach(probe_targets_of(fs))
         errnos: List[Optional[str]] = []
         try:
-            for index, op in enumerate(workload):
-                log.syscall_begin(index, op.name, ", ".join(map(repr, op.args)))
-                errnos.append(execute_op(fs, op))
-                log.syscall_end()
+            if tel.enabled:
+                for index, op in enumerate(workload):
+                    log.syscall_begin(index, op.name, ", ".join(map(repr, op.args)))
+                    with tel.span("syscall", index=index, op=op.name):
+                        errnos.append(execute_op(fs, op))
+                    log.syscall_end()
+            else:
+                for index, op in enumerate(workload):
+                    log.syscall_begin(index, op.name, ", ".join(map(repr, op.args)))
+                    errnos.append(execute_op(fs, op))
+                    log.syscall_end()
         finally:
             probes.detach()
         return base, log, errnos
@@ -125,15 +160,29 @@ class Chipmunk:
     def test_workload(
         self, workload: Workload, setup: Workload = (), coverage=None
     ) -> TestResult:
-        """Full pipeline for one workload."""
-        start = time.perf_counter()
+        """Full pipeline for one workload.
+
+        Every stage runs under a telemetry span (``record``, ``oracle``,
+        ``enumerate``, ``check``, ``triage``); :attr:`TestResult.stage_times`
+        is sourced from the span durations, and ``elapsed`` is their sum.
+        Enumeration and checking interleave (crash states are generated
+        lazily), so their stages are timed at crash-state boundaries — each
+        ``next()`` on the generator is enumeration, everything after it is
+        checking.
+        """
+        tel = self.telemetry
         workload = list(workload)
         desc = describe_workload(workload)
-        base, log, errnos = self.record(workload, setup=setup, coverage=coverage)
-        oracle = run_oracle(
-            self.fs_class, workload, self.config.device_size, bugs=self.bugs,
-            setup=setup,
-        )
+        stage_times: Dict[str, float] = {}
+        with tel.span("record", workload=desc) as sp:
+            base, log, errnos = self.record(workload, setup=setup, coverage=coverage)
+        stage_times["record"] = sp.duration
+        with tel.span("oracle") as sp:
+            oracle = run_oracle(
+                self.fs_class, workload, self.config.device_size, bugs=self.bugs,
+                setup=setup,
+            )
+        stage_times["oracle"] = sp.duration
         if errnos != oracle.errnos:
             raise RuntimeError(
                 f"probed run and oracle disagree on syscall results: "
@@ -145,6 +194,7 @@ class Chipmunk:
             desc,
             bugs=self.bugs,
             config=CheckerConfig(usability_check=self.config.usability_check),
+            telemetry=tel,
         )
         crash_points = self.config.crash_points or (
             "fence" if self.fs_class.strong_guarantees else "fsync"
@@ -153,14 +203,25 @@ class Chipmunk:
         seen: set = set()
         reports: List[BugReport] = []
         n_states = 0
-        for state in enumerate_crash_states(
+        truncated = False
+        enum_time = 0.0
+        check_time = 0.0
+        states = enumerate_crash_states(
             base,
             log,
             cap=self.config.cap,
             coalesce_threshold=self.config.coalesce_threshold,
             crash_points=crash_points,
             stats=stats,
-        ):
+            telemetry=tel,
+        )
+        t_prev = time.perf_counter()
+        while True:
+            state = next(states, None)
+            t_state = time.perf_counter()
+            enum_time += t_state - t_prev
+            if state is None:
+                break
             n_states += 1
             key = (
                 hashlib.sha1(state.image).digest(),
@@ -169,13 +230,33 @@ class Chipmunk:
                 state.after_syscall,
             )
             if key in seen:
+                if tel.enabled:
+                    tel.count("harness.dedup_hits")
+                t_prev = time.perf_counter()
+                check_time += t_prev - t_state
                 continue
             seen.add(key)
-            reports.extend(checker.check(state))
+            if tel.enabled:
+                with tel.span(
+                    "check_state",
+                    fence=state.fence_index,
+                    syscall=state.syscall_name or "",
+                    n_replayed=state.n_replayed,
+                ):
+                    reports.extend(checker.check(state))
+            else:
+                reports.extend(checker.check(state))
+            t_prev = time.perf_counter()
+            check_time += t_prev - t_state
             if len(reports) >= self.config.max_reports_per_workload:
+                truncated = True
                 break
-        clusters = triage_reports(reports)
-        return TestResult(
+        stage_times["enumerate"] = enum_time
+        stage_times["check"] = check_time
+        with tel.span("triage") as sp:
+            clusters = triage_reports(reports)
+        stage_times["triage"] = sp.duration
+        result = TestResult(
             workload_desc=desc,
             reports=reports,
             clusters=clusters,
@@ -184,8 +265,42 @@ class Chipmunk:
             n_fences=stats.n_fences,
             log_length=len(log),
             inflight=inflight_histogram(log, self.config.coalesce_threshold),
-            elapsed=time.perf_counter() - start,
+            elapsed=sum(stage_times.values()),
             errnos=errnos,
+            stage_times=stage_times,
+            truncated=truncated,
+        )
+        if tel.enabled:
+            self._emit_result(tel, result)
+        return result
+
+    def _emit_result(self, tel, result: TestResult) -> None:
+        """Counters plus the ``workload_result`` trace event that
+        :meth:`repro.obs.campaign.CampaignStats.from_trace` folds back."""
+        tel.count("harness.workloads")
+        tel.count("harness.crash_states", result.n_crash_states)
+        tel.count("harness.unique_states", result.n_unique_states)
+        tel.count("harness.reports", len(result.reports))
+        if result.truncated:
+            tel.count("harness.truncated_workloads")
+        outcomes: Dict[str, int] = {}
+        for report in result.reports:
+            name = report.consequence.name
+            outcomes[name] = outcomes.get(name, 0) + 1
+        tel.event(
+            "workload_result",
+            fs=self.fs_class.name,
+            desc=result.workload_desc,
+            elapsed=result.elapsed,
+            stages=result.stage_times,
+            n_crash_states=result.n_crash_states,
+            n_unique_states=result.n_unique_states,
+            n_fences=result.n_fences,
+            n_reports=len(result.reports),
+            n_clusters=len(result.clusters),
+            truncated=result.truncated,
+            outcomes=outcomes,
+            inflight=result.inflight,
         )
 
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import INFLIGHT_EDGES
 from repro.pm.log import Fence, Flush, NTStore, PMLog, SyscallBegin, SyscallEnd, WriteEntry
 
 #: NT stores at least this large are treated as file-data writes for
@@ -117,6 +118,7 @@ def enumerate_crash_states(
     crash_points: str = "fence",
     stats: Optional[ReplayStats] = None,
     unit_ranker=None,
+    telemetry=None,
 ) -> Iterator[CrashState]:
     """Enumerate crash states for a recorded workload.
 
@@ -136,6 +138,10 @@ def enumerate_crash_states(
     enumeration (e.g. the Vinter-style recovery-read heuristic of
     :mod:`repro.core.recovery_reads`) so that, under a budget, the most
     interesting states are generated first.
+
+    ``telemetry`` optionally receives replay counters and the in-flight
+    unit-count histogram; instrumentation happens only at fence boundaries,
+    never per write entry, so the enabled overhead stays negligible.
     """
     if crash_points not in ("fence", "post", "fsync"):
         raise ValueError(f"unknown crash_points mode {crash_points!r}")
@@ -147,6 +153,7 @@ def enumerate_crash_states(
     fence_index = 0
     if stats is None:
         stats = ReplayStats()
+    tel = telemetry if telemetry is not None and telemetry.enabled else None
 
     def subset_states() -> Iterator[CrashState]:
         units = coalesce_units(inflight, coalesce_threshold)
@@ -162,9 +169,13 @@ def enumerate_crash_states(
             return
         stats.max_inflight = max(stats.max_inflight, n)
         stats.inflight_per_fence.append(n)
+        if tel is not None:
+            tel.observe("replay.inflight_units", n, edges=INFLIGHT_EDGES)
         max_size = n - 1
         if cap is not None and cap < max_size:
             stats.capped_regions += 1
+            if tel is not None:
+                tel.count("replay.capped_regions")
             max_size = cap
         for size in range(0, max_size + 1):
             for combo in itertools.combinations(range(n), size):
@@ -217,6 +228,8 @@ def enumerate_crash_states(
             inflight.clear()
             fence_index += 1
             stats.n_fences += 1
+            if tel is not None:
+                tel.count("replay.fences")
         elif isinstance(entry, (NTStore, Flush)):
             inflight.append(entry)
 

@@ -1,0 +1,255 @@
+"""Campaign-level aggregation of per-workload telemetry.
+
+:class:`CampaignStats` consumes per-workload
+:class:`~repro.core.harness.TestResult` objects (in-process) or a JSONL
+trace written via ``--trace`` (offline, :meth:`CampaignStats.from_trace`)
+and derives the quantities the paper's evaluation reports:
+
+* cumulative time-to-bug series (Figure 3 shape) — the campaign second and
+  workload index at which each new triaged cluster appeared;
+* crash-states/sec throughput and dedup hit-rate (§4.3's per-FS crash-state
+  counts and runtime);
+* checker-outcome breakdown by consequence class;
+* per-FS in-flight write-unit histograms (Obs. 7 shape).
+
+The class is symmetric with the trace format: ``add_result`` both folds a
+result in and (when a telemetry object is attached) emits the
+``cluster_found`` events that :meth:`from_trace` later folds back, so the
+in-process and offline views of a campaign agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.tracing import read_jsonl
+
+#: Pipeline stages in display order.
+STAGES = ("record", "oracle", "enumerate", "check", "triage")
+
+
+@dataclass(frozen=True)
+class TimeToBug:
+    """One point of the cumulative time-to-bug series."""
+
+    cluster: int
+    workload: int
+    t: float
+    consequence: str
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> List[str]:
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return lines
+
+
+@dataclass
+class CampaignStats:
+    """Aggregated telemetry of one testing campaign."""
+
+    fs_name: str = "?"
+    generator: str = "?"
+    #: When set, new-cluster discoveries are emitted as ``cluster_found``
+    #: trace events so offline ``stats`` sees the same series.
+    telemetry: Optional[object] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    n_workloads: int = 0
+    n_truncated: int = 0
+    n_crash_states: int = 0
+    n_unique_states: int = 0
+    n_fences: int = 0
+    n_reports: int = 0
+    wall_time: float = 0.0
+    stage_totals: Dict[str, float] = field(default_factory=dict)
+    outcome_counts: Dict[str, int] = field(default_factory=dict)
+    #: fs name -> syscall name -> in-flight unit counts at each fence.
+    inflight: Dict[str, Dict[str, List[int]]] = field(default_factory=dict)
+    time_to_bug: List[TimeToBug] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        from repro.core.triage import Triage  # deferred: obs stays core-free
+
+        self._triage = Triage()
+
+    # ------------------------------------------------------------------
+    # In-process ingestion
+    # ------------------------------------------------------------------
+    def add_result(self, result) -> None:
+        """Fold one :class:`TestResult` into the campaign aggregates."""
+        self.n_workloads += 1
+        self.n_crash_states += result.n_crash_states
+        self.n_unique_states += result.n_unique_states
+        self.n_fences += result.n_fences
+        self.n_reports += len(result.reports)
+        self.wall_time += result.elapsed
+        if getattr(result, "truncated", False):
+            self.n_truncated += 1
+        for stage, dt in getattr(result, "stage_times", {}).items():
+            self.stage_totals[stage] = self.stage_totals.get(stage, 0.0) + dt
+        for report in result.reports:
+            name = report.consequence.name
+            self.outcome_counts[name] = self.outcome_counts.get(name, 0) + 1
+        self._merge_inflight(self.fs_name, result.inflight)
+        before = len(self._triage.clusters)
+        self._triage.add_all(result.reports)
+        for index in range(before, len(self._triage.clusters)):
+            exemplar = self._triage.clusters[index].exemplar
+            self._record_cluster(index, self.n_workloads, self.wall_time,
+                                 exemplar.consequence.name)
+
+    def _record_cluster(self, cluster: int, workload: int, t: float,
+                        consequence: str) -> None:
+        self.time_to_bug.append(TimeToBug(cluster, workload, t, consequence))
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "cluster_found", cluster=cluster, workload=workload,
+                t=t, consequence=consequence,
+            )
+
+    def _merge_inflight(self, fs: str, per_syscall: Dict[str, List[int]]) -> None:
+        if not per_syscall:
+            return
+        bucket = self.inflight.setdefault(fs, {})
+        for syscall, counts in per_syscall.items():
+            bucket.setdefault(syscall, []).extend(counts)
+
+    @property
+    def clusters(self):
+        return self._triage.clusters
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def dedup_hit_rate(self) -> float:
+        """Fraction of generated crash states skipped as duplicates."""
+        if not self.n_crash_states:
+            return 0.0
+        return 1.0 - self.n_unique_states / self.n_crash_states
+
+    @property
+    def states_per_second(self) -> float:
+        return self.n_crash_states / self.wall_time if self.wall_time else 0.0
+
+    # ------------------------------------------------------------------
+    # Offline ingestion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, path: str) -> "CampaignStats":
+        """Rebuild campaign aggregates from a ``--trace`` JSONL file."""
+        stats = cls()
+        for rec in read_jsonl(path):
+            kind = rec.get("type")
+            if kind == "meta":
+                stats.meta.update({k: v for k, v in rec.items() if k != "type"})
+                stats.fs_name = str(stats.meta.get("fs", stats.fs_name))
+                stats.generator = str(stats.meta.get("generator", stats.generator))
+            elif kind == "event" and rec.get("name") == "workload_result":
+                stats._fold_workload_event(rec.get("fields", {}))
+            elif kind == "event" and rec.get("name") == "cluster_found":
+                f = rec.get("fields", {})
+                stats.time_to_bug.append(TimeToBug(
+                    cluster=int(f.get("cluster", len(stats.time_to_bug))),
+                    workload=int(f.get("workload", 0)),
+                    t=float(f.get("t", 0.0)),
+                    consequence=str(f.get("consequence", "?")),
+                ))
+        stats.time_to_bug.sort(key=lambda e: e.cluster)
+        return stats
+
+    def _fold_workload_event(self, fields: Dict[str, object]) -> None:
+        self.n_workloads += 1
+        self.n_crash_states += int(fields.get("n_crash_states", 0))
+        self.n_unique_states += int(fields.get("n_unique_states", 0))
+        self.n_fences += int(fields.get("n_fences", 0))
+        self.n_reports += int(fields.get("n_reports", 0))
+        self.wall_time += float(fields.get("elapsed", 0.0))
+        if fields.get("truncated"):
+            self.n_truncated += 1
+        for stage, dt in dict(fields.get("stages", {})).items():
+            self.stage_totals[stage] = self.stage_totals.get(stage, 0.0) + float(dt)
+        for outcome, n in dict(fields.get("outcomes", {})).items():
+            self.outcome_counts[outcome] = self.outcome_counts.get(outcome, 0) + int(n)
+        fs = str(fields.get("fs", self.fs_name))
+        if self.fs_name == "?":
+            self.fs_name = fs
+        self._merge_inflight(fs, {
+            str(k): [int(c) for c in v]
+            for k, v in dict(fields.get("inflight", {})).items()
+        })
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Multi-table text summary (the ``python -m repro stats`` output)."""
+        lines: List[str] = []
+        head = f"Campaign: {self.fs_name} ({self.generator})"
+        extras = {k: v for k, v in self.meta.items()
+                  if k not in ("fs", "generator")}
+        if extras:
+            head += "  [" + ", ".join(f"{k}={v}" for k, v in sorted(extras.items())) + "]"
+        lines.append(head)
+        trunc = f" ({self.n_truncated} truncated)" if self.n_truncated else ""
+        lines.append(
+            f"workloads: {self.n_workloads}{trunc}   crash states: "
+            f"{self.n_crash_states} generated, {self.n_unique_states} unique "
+            f"(dedup hit-rate {self.dedup_hit_rate * 100:.1f}%)"
+        )
+        lines.append(
+            f"wall time: {self.wall_time:.2f}s   throughput: "
+            f"{self.states_per_second:.1f} crash states/sec   "
+            f"fences: {self.n_fences}   reports: {self.n_reports}"
+        )
+        lines.append("")
+        lines.append("Per-stage timings")
+        total = sum(self.stage_totals.values()) or 1.0
+        stage_rows = []
+        for stage in STAGES:
+            if stage in self.stage_totals:
+                dt = self.stage_totals[stage]
+                stage_rows.append((stage, f"{dt * 1000:.1f}", f"{dt / total * 100:.1f}%"))
+        for stage in sorted(set(self.stage_totals) - set(STAGES)):
+            dt = self.stage_totals[stage]
+            stage_rows.append((stage, f"{dt * 1000:.1f}", f"{dt / total * 100:.1f}%"))
+        lines.extend(_table(("stage", "total (ms)", "share"), stage_rows))
+        lines.append("")
+        lines.append("Checker outcomes")
+        outcome_rows = [(k, v) for k, v in
+                        sorted(self.outcome_counts.items(), key=lambda kv: -kv[1])]
+        if not outcome_rows:
+            outcome_rows = [("clean", "-")]
+        lines.extend(_table(("consequence", "reports"), outcome_rows))
+        lines.append("")
+        lines.append("Cumulative time-to-bug")
+        if self.time_to_bug:
+            ttb_rows = [
+                (e.cluster + 1, e.workload, f"{e.t:.2f}", e.consequence)
+                for e in self.time_to_bug
+            ]
+            lines.extend(_table(("cluster", "workload #", "t (s)", "consequence"),
+                                ttb_rows))
+        else:
+            lines.append("(no clusters found)")
+        for fs, per_syscall in sorted(self.inflight.items()):
+            lines.append("")
+            lines.append(f"In-flight write units per syscall [{fs}]")
+            rows = []
+            for syscall in sorted(per_syscall):
+                counts = per_syscall[syscall]
+                rows.append((
+                    syscall, len(counts),
+                    f"{sum(counts) / len(counts):.1f}", max(counts),
+                ))
+            lines.extend(_table(("syscall", "fences", "avg units", "max"), rows))
+        return "\n".join(lines)

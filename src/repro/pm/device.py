@@ -33,7 +33,7 @@ class PMDevice:
         cache-line size so flush ranges always stay in bounds.
     """
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, telemetry=None) -> None:
         if size <= 0 or size % CACHE_LINE != 0:
             raise PMDeviceError(
                 f"device size must be a positive multiple of {CACHE_LINE}, got {size}"
@@ -41,6 +41,17 @@ class PMDevice:
         self.size = size
         self.image = bytearray(size)
         self._undo: List[Tuple[int, bytes]] | None = None
+        # Device access counters live on cached Counter objects so the
+        # instrumented path is one attribute check plus two integer adds per
+        # access; with no telemetry the check is all that remains.
+        self._c_reads = self._c_read_bytes = None
+        self._c_writes = self._c_write_bytes = None
+        if telemetry is not None and telemetry.enabled:
+            metrics = telemetry.metrics
+            self._c_reads = metrics.counter("pm.reads")
+            self._c_read_bytes = metrics.counter("pm.read_bytes")
+            self._c_writes = metrics.counter("pm.writes")
+            self._c_write_bytes = metrics.counter("pm.write_bytes")
 
     # ------------------------------------------------------------------
     # Raw access
@@ -55,6 +66,9 @@ class PMDevice:
     def read(self, addr: int, length: int) -> bytes:
         """Read ``length`` bytes at ``addr`` from the volatile view."""
         self.check_range(addr, length)
+        if self._c_reads is not None:
+            self._c_reads.inc()
+            self._c_read_bytes.inc(length)
         return bytes(self.image[addr : addr + length])
 
     def write(self, addr: int, data: bytes) -> None:
@@ -65,6 +79,9 @@ class PMDevice:
         operations make it so.
         """
         self.check_range(addr, len(data))
+        if self._c_writes is not None:
+            self._c_writes.inc()
+            self._c_write_bytes.inc(len(data))
         if self._undo is not None:
             self._undo.append((addr, bytes(self.image[addr : addr + len(data)])))
         self.image[addr : addr + len(data)] = data
@@ -85,9 +102,9 @@ class PMDevice:
         self.image = bytearray(snap)
 
     @classmethod
-    def from_snapshot(cls, snap: bytes) -> "PMDevice":
+    def from_snapshot(cls, snap: bytes, telemetry=None) -> "PMDevice":
         """Build a new device whose image is a copy of ``snap``."""
-        dev = cls(len(snap))
+        dev = cls(len(snap), telemetry=telemetry)
         dev.image = bytearray(snap)
         return dev
 

@@ -187,6 +187,7 @@ class WorkloadFuzzer:
 
     def step(self) -> TestResult:
         """Generate, execute, and learn from one workload."""
+        tel = self.chipmunk.telemetry
         program = self.next_program()
         coverage = CoverageMap()
         result = self.chipmunk.test_workload(program, coverage=coverage)
@@ -194,6 +195,8 @@ class WorkloadFuzzer:
         self.stats.crash_states += result.n_crash_states
         if self.coverage.add(coverage.points()):
             self.corpus.append(program)
+            if tel.enabled:
+                tel.count("fuzzer.corpus_adds")
         before = len(self.triage.clusters)
         self.triage.add_all(result.reports)
         self.stats.reports += len(result.reports)
@@ -201,6 +204,19 @@ class WorkloadFuzzer:
             self.stats.cluster_found_at.append(
                 (self.stats.executions, self.stats.elapsed)
             )
+            if tel.enabled:
+                for index in range(before, len(self.triage.clusters)):
+                    exemplar = self.triage.clusters[index].exemplar
+                    tel.event(
+                        "cluster_found",
+                        cluster=index,
+                        workload=self.stats.executions,
+                        t=self.stats.elapsed,
+                        consequence=exemplar.consequence.name,
+                    )
+        if tel.enabled:
+            tel.set_gauge("fuzzer.coverage_points", len(self.coverage))
+            tel.set_gauge("fuzzer.corpus_size", len(self.corpus))
         return result
 
     def run(

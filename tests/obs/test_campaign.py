@@ -1,0 +1,139 @@
+"""CampaignStats aggregation: time-to-bug ordering, rates, trace rebuild."""
+
+from repro.core import Chipmunk
+from repro.fs.bugs import BugConfig
+from repro.obs import Telemetry
+from repro.obs.campaign import CampaignStats, TimeToBug
+from repro.workloads.ops import Op
+
+CLEAN = [Op("creat", ("/x",))]
+BUGGY = [Op("creat", ("/foo",)), Op("rename", ("/foo", "/bar"))]
+
+
+def run(workload, **kwargs):
+    return Chipmunk("nova", **kwargs).test_workload(workload)
+
+
+class TestAggregation:
+    def test_counts_and_rates(self):
+        stats = CampaignStats(fs_name="nova", generator="ace")
+        result = run(CLEAN, bugs=BugConfig.fixed())
+        stats.add_result(result)
+        stats.add_result(run(CLEAN, bugs=BugConfig.fixed()))
+        assert stats.n_workloads == 2
+        assert stats.n_crash_states == 2 * result.n_crash_states
+        assert stats.wall_time > 0
+        assert stats.states_per_second > 0
+        assert 0.0 <= stats.dedup_hit_rate < 1.0
+        assert stats.outcome_counts == {}
+        assert stats.time_to_bug == []
+
+    def test_stage_totals_cover_all_stages(self):
+        stats = CampaignStats(fs_name="nova")
+        stats.add_result(run(CLEAN, bugs=BugConfig.fixed()))
+        for stage in ("record", "oracle", "enumerate", "check", "triage"):
+            assert stage in stats.stage_totals
+
+    def test_inflight_merged_per_fs_and_syscall(self):
+        stats = CampaignStats(fs_name="nova")
+        stats.add_result(run(CLEAN, bugs=BugConfig.fixed()))
+        stats.add_result(run(CLEAN, bugs=BugConfig.fixed()))
+        assert "nova" in stats.inflight
+        assert "creat" in stats.inflight["nova"]
+        assert len(stats.inflight["nova"]["creat"]) >= 2
+
+
+class TestTimeToBug:
+    def test_series_is_cumulative_and_ordered(self):
+        stats = CampaignStats(fs_name="nova")
+        stats.add_result(run(CLEAN, bugs=BugConfig.fixed()))
+        stats.add_result(run(BUGGY, bugs=BugConfig.only(5)))
+        assert stats.time_to_bug, "buggy workload must open at least one cluster"
+        first = stats.time_to_bug[0]
+        # found at the second workload, at cumulative (not per-workload) time
+        assert first.workload == 2
+        assert first.t == stats.wall_time
+        # cluster indices strictly increase; workload index and cumulative
+        # time never decrease along the series
+        for a, b in zip(stats.time_to_bug, stats.time_to_bug[1:]):
+            assert a.cluster < b.cluster
+            assert a.workload <= b.workload
+            assert a.t <= b.t
+
+    def test_known_cluster_does_not_reappear(self):
+        stats = CampaignStats(fs_name="nova")
+        stats.add_result(run(BUGGY, bugs=BugConfig.only(5)))
+        n = len(stats.time_to_bug)
+        stats.add_result(run(BUGGY, bugs=BugConfig.only(5)))
+        assert len(stats.time_to_bug) == n
+
+    def test_cluster_found_events_emitted_through_telemetry(self):
+        tel = Telemetry()
+        stats = CampaignStats(fs_name="nova", telemetry=tel)
+        stats.add_result(run(BUGGY, bugs=BugConfig.only(5)))
+        events = [r for r in tel.tracer.records
+                  if r["type"] == "event" and r["name"] == "cluster_found"]
+        assert len(events) == len(stats.time_to_bug)
+        assert events[0]["fields"]["workload"] == 1
+
+
+class TestFromTrace:
+    def test_round_trip_matches_in_process_aggregates(self, tmp_path):
+        tel = Telemetry()
+        tel.meta.update(fs="nova", generator="ace", seed=7)
+        cm = Chipmunk("nova", bugs=BugConfig.only(5), telemetry=tel)
+        live = CampaignStats(fs_name="nova", generator="ace", telemetry=tel)
+        live.add_result(cm.test_workload(CLEAN))
+        live.add_result(cm.test_workload(BUGGY))
+        path = str(tmp_path / "trace.jsonl")
+        tel.export_jsonl(path)
+
+        rebuilt = CampaignStats.from_trace(path)
+        assert rebuilt.fs_name == "nova"
+        assert rebuilt.generator == "ace"
+        assert rebuilt.meta["seed"] == 7
+        assert rebuilt.n_workloads == live.n_workloads
+        assert rebuilt.n_crash_states == live.n_crash_states
+        assert rebuilt.n_unique_states == live.n_unique_states
+        assert rebuilt.n_reports == live.n_reports
+        assert rebuilt.outcome_counts == live.outcome_counts
+        assert rebuilt.inflight == live.inflight
+        assert abs(rebuilt.wall_time - live.wall_time) < 1e-9
+        assert [(e.cluster, e.workload) for e in rebuilt.time_to_bug] == \
+               [(e.cluster, e.workload) for e in live.time_to_bug]
+
+    def test_render_contains_required_sections(self, tmp_path):
+        tel = Telemetry()
+        tel.meta.update(fs="nova", generator="ace")
+        cm = Chipmunk("nova", bugs=BugConfig.only(5), telemetry=tel)
+        stats = CampaignStats(fs_name="nova", generator="ace", telemetry=tel)
+        stats.add_result(cm.test_workload(BUGGY))
+        path = str(tmp_path / "trace.jsonl")
+        tel.export_jsonl(path)
+        text = CampaignStats.from_trace(path).render()
+        assert "Per-stage timings" in text
+        assert "crash states/sec" in text
+        assert "dedup hit-rate" in text
+        assert "Cumulative time-to-bug" in text
+        assert "Checker outcomes" in text
+        assert "record" in text and "triage" in text
+
+
+class TestRender:
+    def test_render_empty_campaign(self):
+        text = CampaignStats(fs_name="pmfs", generator="fuzz").render()
+        assert "pmfs" in text
+        assert "(no clusters found)" in text
+
+    def test_truncated_count_surfaces(self):
+        stats = CampaignStats(fs_name="nova")
+        stats.n_workloads = 3
+        stats.n_truncated = 1
+        assert "(1 truncated)" in stats.render()
+
+    def test_time_to_bug_rows_render(self):
+        stats = CampaignStats(fs_name="nova")
+        stats.time_to_bug.append(TimeToBug(0, 4, 1.25, "ATOMICITY"))
+        text = stats.render()
+        assert "1.25" in text
+        assert "ATOMICITY" in text

@@ -1,0 +1,100 @@
+"""Metrics primitives: counters, gauges, histogram bucket edges."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_to_dict(self):
+        c = Counter("x")
+        c.inc(3)
+        assert c.to_dict() == {
+            "type": "metric", "kind": "counter", "name": "x", "value": 3,
+        }
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(1.5)
+        g.set(0.25)
+        assert g.value == 0.25
+
+
+class TestHistogramEdges:
+    def test_edges_are_inclusive_upper_bounds(self):
+        h = Histogram("h", edges=(1, 2, 5))
+        # value == edge lands in that edge's bucket (Prometheus `le`).
+        h.observe(1)
+        assert h.counts == [1, 0, 0, 0]
+        h.observe(2)
+        assert h.counts == [1, 1, 0, 0]
+        # strictly between edges -> the next bucket up
+        h.observe(3)
+        assert h.counts == [1, 1, 1, 0]
+        h.observe(5)
+        assert h.counts == [1, 1, 2, 0]
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", edges=(1, 2, 5))
+        h.observe(6)
+        h.observe(10_000)
+        assert h.counts == [0, 0, 0, 2]
+
+    def test_below_first_edge_lands_in_first_bucket(self):
+        h = Histogram("h", edges=(1, 2, 5))
+        h.observe(0)
+        h.observe(-3)
+        assert h.counts[0] == 2
+
+    def test_summary_stats(self):
+        h = Histogram("h", edges=(10,))
+        for v in (1, 2, 3):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6
+        assert h.min == 1
+        assert h.max == 3
+        assert h.mean == pytest.approx(2.0)
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(5, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=())
+
+    def test_to_dict_round_trips_buckets(self):
+        h = Histogram("h", edges=(1, 2))
+        h.observe(1.5)
+        d = h.to_dict()
+        assert d["edges"] == [1, 2]
+        assert d["counts"] == [0, 1, 0]
+        assert d["count"] == 1
+        assert d["sum"] == 1.5
+
+
+class TestRegistry:
+    def test_memoizes_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c", (1, 2)) is reg.histogram("c")
+
+    def test_snapshot_is_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("m").set(7)
+        reg.histogram("h", (1,)).observe(0.5)
+        snap = reg.snapshot()
+        names = [r["name"] for r in snap]
+        assert names == ["a", "z", "m", "h"]  # counters, gauges, histograms
+        assert all(r["type"] == "metric" for r in snap)

@@ -1,0 +1,133 @@
+"""Span nesting, ring buffer, and JSONL -> Chrome export round-trip."""
+
+import json
+
+from repro.obs import Telemetry
+from repro.obs.tracing import (
+    Tracer,
+    jsonl_to_chrome,
+    read_jsonl,
+    spans_to_chrome,
+    write_jsonl,
+)
+
+
+class TestSpanNesting:
+    def test_parent_child_links(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1
+        assert outer.parent_id is None
+        assert outer.depth == 0
+
+    def test_children_finish_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [r["name"] for r in tracer.records]
+        assert names == ["inner", "outer"]
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert 0 <= inner.duration <= outer.duration
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == b.parent_id == outer.span_id
+
+    def test_exception_unwinds_stack(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with tracer.span("after") as after:
+            pass
+        assert after.depth == 0
+
+
+class TestRingBuffer:
+    def test_oldest_records_dropped(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.records) == 4
+        assert [r["name"] for r in tracer.records] == ["s6", "s7", "s8", "s9"]
+        assert tracer.dropped == 6
+
+
+class TestExportRoundTrip:
+    def _sample_telemetry(self) -> Telemetry:
+        tel = Telemetry()
+        tel.meta.update(fs="nova", generator="test")
+        with tel.span("record", workload="creat /f"):
+            with tel.span("syscall", index=0, op="creat"):
+                pass
+        tel.event("workload_result", n_reports=0)
+        tel.count("harness.workloads")
+        tel.observe("replay.inflight_units", 3, edges=(1, 2, 4))
+        return tel
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tel = self._sample_telemetry()
+        path = str(tmp_path / "trace.jsonl")
+        n = tel.export_jsonl(path)
+        records = list(read_jsonl(path))
+        assert len(records) == n
+        kinds = [r["type"] for r in records]
+        assert kinds[0] == "meta"
+        assert kinds.count("span") == 2
+        assert kinds.count("event") == 1
+        assert kinds.count("metric") == 2
+        # spans are exported in timestamp order with nesting intact
+        spans = [r for r in records if r["type"] == "span"]
+        assert spans[0]["name"] == "record"
+        assert spans[1]["name"] == "syscall"
+        assert spans[1]["parent"] == spans[0]["id"]
+
+    def test_jsonl_to_chrome_is_valid(self, tmp_path):
+        tel = self._sample_telemetry()
+        jsonl = str(tmp_path / "trace.jsonl")
+        chrome = str(tmp_path / "trace.chrome.json")
+        tel.export_jsonl(jsonl)
+        n = jsonl_to_chrome(jsonl, chrome)
+        doc = json.loads(open(chrome).read())
+        events = doc["traceEvents"]
+        assert len(events) == n == 3  # two spans + one instant event
+        for e in events:
+            assert e["ph"] in ("X", "i")
+            assert e["ts"] >= 0
+            if e["ph"] == "X":
+                assert e["dur"] >= 0
+        # timestamps are sorted, as the format expects
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+
+    def test_chrome_units_are_microseconds(self):
+        records = [
+            {"type": "span", "name": "s", "id": 1, "ts": 0.5, "dur": 0.25,
+             "depth": 0},
+        ]
+        doc = spans_to_chrome(records)
+        (event,) = doc["traceEvents"]
+        assert event["ts"] == 500000.0
+        assert event["dur"] == 250000.0
+
+    def test_write_jsonl_counts_lines(self, tmp_path):
+        path = str(tmp_path / "x.jsonl")
+        assert write_jsonl(path, [{"a": 1}, {"b": 2}]) == 2
+        assert len(open(path).read().strip().splitlines()) == 2

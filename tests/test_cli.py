@@ -70,3 +70,68 @@ class TestCommands:
         code = main(["fuzz", "nova", "--fixed", "--seconds", "1", "--seed", "3"])
         assert code == 0
         assert "executions" in capsys.readouterr().out
+
+
+class TestTelemetryCLI:
+    def test_fs_flag_is_alternative_to_positional(self, capsys):
+        code = main(["test", "--fs", "nova", "--fixed", "--op", "creat /f"])
+        assert code == 0
+        assert "0 report(s)" in capsys.readouterr().out
+
+    def test_fs_required_somewhere(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["test", "--fixed"])
+
+    def test_trace_then_stats(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        code = main(
+            ["ace", "--fs", "nova", "--max-workloads", "10", "--trace", trace]
+        )
+        assert code == 1  # NOVA's default bug set reproduces within 10 workloads
+        assert f"to {trace}" in capsys.readouterr().out
+
+        chrome = str(tmp_path / "t.chrome.json")
+        assert main(["stats", trace, "--chrome", chrome]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage timings" in out
+        assert "crash states/sec" in out
+        assert "dedup hit-rate" in out
+        assert "Cumulative time-to-bug" in out
+        assert "Chrome trace event(s)" in out
+
+        import json
+
+        doc = json.load(open(chrome))
+        assert doc["traceEvents"], "chrome trace must contain events"
+        assert all(e["ph"] in ("X", "i") for e in doc["traceEvents"])
+
+    def test_metrics_flag_prints_snapshot(self, capsys):
+        code = main(
+            ["test", "nova", "--fixed", "--op", "creat /f", "--metrics"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[telemetry] metrics snapshot:" in out
+        assert "harness.workloads: 1" in out
+
+    def test_fuzz_seed_recorded_in_trace(self, tmp_path):
+        trace = str(tmp_path / "f.jsonl")
+        main(["fuzz", "nova", "--fixed", "--seconds", "0.2", "--seed", "11",
+              "--trace", trace])
+        import json
+
+        meta = json.loads(open(trace).readline())
+        assert meta["type"] == "meta"
+        assert meta["seed"] == 11
+        assert meta["generator"] == "fuzz"
+
+    def test_stats_on_fuzz_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "f.jsonl")
+        main(["fuzz", "nova", "--bugs", "5", "--seconds", "1", "--seed", "3",
+              "--trace", trace])
+        capsys.readouterr()
+        assert main(["stats", trace]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign: nova (fuzz)" in out
+        assert "seed=11" not in out  # this trace used seed 3
+        assert "seed=3" in out
