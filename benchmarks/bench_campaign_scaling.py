@@ -1,0 +1,114 @@
+"""Campaign engine scaling: parallel workers vs the serial pipeline.
+
+The paper's 50k-workload seq-3 campaign was split across ten VMs
+(section 4.2); ``repro.campaign`` replays that scale-out pattern with a
+local worker pool.  This bench runs the same seq-2 slice serially and
+through the engine at increasing worker counts, prints the scaling table,
+and — always — checks the parallel runs reproduce the serial bug set
+exactly (the engine's core correctness contract).
+
+Speedup is asserted only when the host actually has spare cores: on a
+single-CPU container the workers time-slice one core and parallel wall
+clock can only match (or slightly trail) serial, which the table then
+documents instead.
+"""
+
+import itertools
+import os
+import time
+
+from conftest import print_table, run_once
+
+from repro.analysis.reporting import CampaignSummary
+from repro.campaign import CampaignEngine, CampaignSpec, EngineConfig
+from repro.workloads import ace
+
+#: ACE workloads per sequence length (seq 1..2): 55 + 120 = 175 workloads,
+#: a few seconds of serial wall clock — enough for scheduling overheads to
+#: amortize without making the bench slow.
+MAX_WORKLOADS = 120
+WORKER_COUNTS = (2, 4)
+
+
+def _fingerprint(clusters):
+    return sorted(
+        (c.exemplar.consequence.name, c.exemplar.detail, c.count)
+        for c in clusters
+    )
+
+
+def _serial_run(spec):
+    chipmunk = spec.build_chipmunk()
+    summary = CampaignSummary(fs_name=spec.fs, generator="ace")
+    for seq in range(1, spec.seq + 1):
+        total = min(ace.count(seq), spec.max_workloads)
+        for w in itertools.islice(ace.generate(seq, mode=spec.mode), total):
+            summary.add_result(chipmunk.test_workload(w.core, setup=w.setup))
+    return summary
+
+
+def test_bench_campaign_scaling(benchmark, tmp_path):
+    """Serial vs ``--workers N`` wall clock on a seq-2 slice."""
+    spec = CampaignSpec(fs="nova", seq=2, max_workloads=MAX_WORKLOADS)
+    cpus = os.cpu_count() or 1
+
+    def experiment():
+        start = time.perf_counter()
+        serial_summary = _serial_run(spec)
+        serial_wall = time.perf_counter() - start
+
+        parallel = []
+        for workers in WORKER_COUNTS:
+            start = time.perf_counter()
+            merged = CampaignEngine(
+                spec, str(tmp_path / f"workers-{workers}"),
+                EngineConfig(workers=workers),
+            ).run()
+            wall = time.perf_counter() - start
+            parallel.append((workers, wall, merged))
+        return serial_summary, serial_wall, parallel
+
+    serial_summary, serial_wall, parallel = run_once(benchmark, experiment)
+
+    rows = [("serial", f"{serial_wall:.2f}", "1.00x", "-", "-")]
+    for workers, wall, merged in parallel:
+        rows.append((
+            f"{workers} workers",
+            f"{wall:.2f}",
+            f"{serial_wall / wall:.2f}x",
+            str(merged.engine["steals"]),
+            str(merged.engine["requeues"]),
+        ))
+    print_table(
+        f"Campaign scaling: nova seq-2 slice, "
+        f"{serial_summary.workloads_tested} workloads ({cpus} CPU(s))",
+        ("configuration", "wall (s)", "speedup", "steals", "requeues"),
+        rows,
+    )
+
+    # Correctness is unconditional: every worker count must reproduce the
+    # serial bug set, workload-for-workload.
+    serial_fp = _fingerprint(serial_summary.clusters)
+    for workers, _, merged in parallel:
+        assert merged.summary.workloads_tested == serial_summary.workloads_tested
+        assert _fingerprint(merged.clusters) == serial_fp, (
+            f"{workers}-worker campaign diverged from the serial bug set"
+        )
+        assert not merged.quarantined
+
+    # Speedup is conditional on real parallelism being available.
+    best_speedup = max(serial_wall / wall for _, wall, _ in parallel)
+    if cpus >= 4:
+        assert best_speedup >= 2.0, (
+            f"expected >=2x speedup with {cpus} CPUs, got {best_speedup:.2f}x"
+        )
+    elif cpus >= 2:
+        assert best_speedup >= 1.2, (
+            f"expected >=1.2x speedup with {cpus} CPUs, got {best_speedup:.2f}x"
+        )
+    else:
+        # Single CPU: workers only time-slice; just make sure the engine's
+        # overhead is bounded rather than pathological.
+        assert best_speedup >= 0.5, (
+            f"parallel overhead pathological on 1 CPU: {best_speedup:.2f}x"
+        )

@@ -11,12 +11,20 @@ Commands
     Run an ACE campaign (seq-1 and optionally seq-2) against a file system.
 ``fuzz``
     Run the gray-box fuzzer against a file system for a time budget.
+``campaign``
+    Run a campaign across a parallel worker pool (the paper's ten-VM
+    split as a subsystem) with checkpoint/resume; see ``--workers``,
+    ``--out``, ``--resume``.
 ``stats``
-    Render a campaign summary from a JSONL trace written with ``--trace``.
+    Render a campaign summary from one or more JSONL traces written with
+    ``--trace`` (multiple files merge — e.g. a parallel campaign's
+    per-worker traces).
 
 The testing commands accept ``--trace FILE`` (write a JSONL telemetry
 trace) and ``--metrics`` (print the metrics snapshot); the file system can
-be given positionally or with ``--fs``.
+be given positionally or with ``--fs``.  ``ace``/``fuzz``/``campaign``
+handle Ctrl-C gracefully: partial results are flushed and the exit status
+is 130 (a killed ``campaign`` additionally resumes from its journal).
 
 Examples
 --------
@@ -29,7 +37,10 @@ Examples
     python -m repro ace pmfs --seq 2 --max-workloads 500
     python -m repro ace --fs nova --trace /tmp/t.jsonl
     python -m repro fuzz winefs --seconds 30 --seed 7
+    python -m repro campaign nova --workers 4 --seq 2 --out /tmp/camp
+    python -m repro campaign --resume /tmp/camp --workers 4
     python -m repro stats /tmp/t.jsonl --chrome /tmp/t.chrome.json
+    python -m repro stats /tmp/camp/worker-*.trace.jsonl
 """
 
 from __future__ import annotations
@@ -145,20 +156,31 @@ def cmd_ace(args) -> int:
     )
     mode = "pm" if FS_CLASSES()[args.fs].strong_guarantees else "fsync"
     stats = CampaignStats(fs_name=args.fs, generator="ace", telemetry=tel)
-    for seq in range(1, args.seq + 1):
-        workloads = ace.generate(seq, mode=mode)
-        if args.max_workloads:
-            workloads = itertools.islice(workloads, args.max_workloads)
-        for w in workloads:
-            stats.add_result(chipmunk.test_workload(w.core, setup=w.setup))
+    interrupted = False
+    try:
+        for seq in range(1, args.seq + 1):
+            workloads = ace.generate(seq, mode=mode)
+            if args.max_workloads:
+                workloads = itertools.islice(workloads, args.max_workloads)
+            for w in workloads:
+                stats.add_result(chipmunk.test_workload(w.core, setup=w.setup))
+    except KeyboardInterrupt:
+        # Flush what we have rather than dying with a raw traceback: the
+        # partial summary and telemetry of a long campaign are still data.
+        interrupted = True
+        print("\n[interrupted] flushing partial campaign results",
+              file=sys.stderr)
     print(
         f"{stats.n_workloads} workloads, {stats.n_crash_states} crash states, "
         f"{len(stats.clusters)} clusters, {stats.wall_time:.1f}s"
+        + (" [interrupted]" if interrupted else "")
     )
     for cluster in stats.clusters:
         print()
         print(cluster.describe())
     _finish_telemetry(args, tel)
+    if interrupted:
+        return 130
     return 1 if stats.clusters else 0
 
 
@@ -175,33 +197,129 @@ def cmd_fuzz(args) -> int:
         telemetry=tel,
     )
     fuzzer = WorkloadFuzzer(chipmunk, seed=args.seed)
-    stats = fuzzer.run(time_budget=args.seconds)
+    interrupted = False
+    try:
+        stats = fuzzer.run(time_budget=args.seconds)
+    except KeyboardInterrupt:
+        # fuzzer.run finalizes its stats on the way out, so the partial
+        # campaign is fully reportable.
+        interrupted = True
+        stats = fuzzer.stats
+        print("\n[interrupted] flushing partial campaign results",
+              file=sys.stderr)
     print(
         f"{stats.executions} executions, {stats.crash_states} crash states, "
         f"coverage {stats.coverage_points}, corpus {stats.corpus_size}, "
         f"{stats.clusters} clusters, {stats.elapsed:.1f}s"
+        + (" [interrupted]" if interrupted else "")
     )
     for cluster in fuzzer.clusters:
         print()
         print(cluster.describe())
     _finish_telemetry(args, tel)
+    if interrupted:
+        return 130
     return 1 if stats.clusters else 0
 
 
-def cmd_stats(args) -> int:
+def cmd_campaign(args) -> int:
+    from repro.campaign import (
+        CampaignEngine,
+        CampaignSpec,
+        CheckpointJournal,
+        EngineConfig,
+        SpecMismatch,
+    )
+
+    if args.resume:
+        # Resuming re-reads the spec from the journal: the campaign is
+        # defined by what was started, not by what flags accompany the
+        # resume.  Engine knobs (--workers etc.) may differ freely.
+        campaign_dir = args.resume
+        state = CheckpointJournal.replay(campaign_dir)
+        if state.spec_dict is None:
+            print(f"error: no campaign journal in {campaign_dir!r}",
+                  file=sys.stderr)
+            return 2
+        spec = CampaignSpec.from_dict(state.spec_dict)
+        if args.fs is not None and args.fs != spec.fs:
+            print(
+                f"error: journal in {campaign_dir!r} is a {spec.fs} campaign, "
+                f"not {args.fs}", file=sys.stderr,
+            )
+            return 2
+    else:
+        if args.fs is None:
+            print("error: campaign: a file system is required "
+                  "(positional or --fs), or --resume DIR", file=sys.stderr)
+            return 2
+        campaign_dir = args.out or f"campaign-{args.fs}-{args.generator}"
+        bug_ids: Optional[List[int]] = None
+        if args.fixed:
+            bug_ids = []
+        elif args.bugs:
+            bug_ids = list(args.bugs)
+        spec = CampaignSpec(
+            fs=args.fs,
+            generator=args.generator,
+            bug_ids=bug_ids,
+            cap=args.cap,
+            seq=args.seq,
+            max_workloads=args.max_workloads,
+            seed=args.seed,
+            segments=args.segments,
+            executions=args.executions,
+            trace=args.trace,
+        )
+    engine = CampaignEngine(
+        spec,
+        campaign_dir,
+        EngineConfig(
+            workers=args.workers,
+            batch_size=args.batch,
+            item_timeout=args.timeout,
+            max_retries=args.max_retries,
+        ),
+        resume=bool(args.resume),
+    )
     try:
-        stats = CampaignStats.from_trace(args.trace)
+        merged = engine.run()
+    except SpecMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(merged.console_summary())
+    for cluster in merged.clusters:
+        print()
+        print(cluster.describe())
+    print(f"\n[campaign] dir: {campaign_dir}  report: "
+          f"{campaign_dir}/report.md  journal: {campaign_dir}/journal.jsonl")
+    if merged.trace_path:
+        print(f"[campaign] merged telemetry trace: {merged.trace_path}")
+    if merged.interrupted:
+        return 130
+    return 1 if merged.clusters else 0
+
+
+def cmd_stats(args) -> int:
+    traces: List[str] = args.traces
+    try:
+        stats = CampaignStats.from_traces(traces)
     except OSError as exc:
-        print(f"error: cannot read trace {args.trace!r}: {exc.strerror or exc}",
+        print(f"error: cannot read trace: {exc.strerror or exc}",
               file=sys.stderr)
         return 2
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-        print(f"error: {args.trace!r} is not a JSONL telemetry trace: {exc}",
-              file=sys.stderr)
+        print(f"error: not a JSONL telemetry trace: {exc}", file=sys.stderr)
         return 2
+    if len(traces) > 1:
+        print(f"[stats] merged {len(traces)} trace files")
     print(stats.render())
     if args.chrome:
-        n = jsonl_to_chrome(args.trace, args.chrome)
+        if len(traces) > 1:
+            print("error: --chrome requires a single trace file",
+                  file=sys.stderr)
+            return 2
+        n = jsonl_to_chrome(traces[0], args.chrome)
         print(f"\nwrote {n} Chrome trace event(s) to {args.chrome}")
     return 0
 
@@ -276,15 +394,75 @@ def build_parser() -> argparse.ArgumentParser:
         "is reproducible from its trace file",
     )
 
-    p_stats = sub.add_parser(
-        "stats", help="render a campaign summary from a JSONL trace"
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a parallel campaign with checkpoint/resume",
     )
-    p_stats.add_argument("trace", help="trace file written with --trace")
+    p_camp.add_argument(
+        "fs",
+        nargs="?",
+        choices=sorted(FS_CLASSES()),
+        help="file system (or use --fs; not needed with --resume)",
+    )
+    p_camp.add_argument(
+        "--fs",
+        dest="fs_flag",
+        choices=sorted(FS_CLASSES()),
+        help="file system (alternative to the positional argument)",
+    )
+    p_camp.add_argument(
+        "--generator", choices=("ace", "fuzz"), default="ace",
+        help="workload generator (default: ace)",
+    )
+    p_camp.add_argument("--workers", type=int, default=2,
+                        help="worker processes (default 2)")
+    p_camp.add_argument("--out", metavar="DIR",
+                        help="campaign directory (journal, report, traces); "
+                        "default campaign-<fs>-<generator>")
+    p_camp.add_argument("--resume", metavar="DIR",
+                        help="resume a killed campaign from its directory, "
+                        "skipping journaled workloads")
+    p_camp.add_argument("--seq", type=int, default=1, choices=(1, 2, 3),
+                        help="ACE sequence lengths to run (1..seq)")
+    p_camp.add_argument("--max-workloads", type=int, default=0,
+                        help="cap ACE workloads per sequence length")
+    p_camp.add_argument("--seed", type=int, default=0,
+                        help="fuzzer base seed (seed space is split into "
+                        "segments)")
+    p_camp.add_argument("--segments", type=int, default=4,
+                        help="fuzzer seed segments (work items)")
+    p_camp.add_argument("--executions", type=int, default=25,
+                        help="fuzzer executions per segment")
+    p_camp.add_argument("--bugs", type=int, nargs="*", default=[],
+                        help="enable only these bug ids")
+    p_camp.add_argument("--fixed", action="store_true",
+                        help="run the fully fixed variant")
+    p_camp.add_argument("--cap", type=int, default=2,
+                        help="replay cap (default 2)")
+    p_camp.add_argument("--batch", type=int, default=8,
+                        help="work items per dispatch (default 8)")
+    p_camp.add_argument("--timeout", type=float, default=60.0,
+                        help="per-workload timeout in seconds before a "
+                        "worker is presumed hung (default 60)")
+    p_camp.add_argument("--max-retries", type=int, default=2,
+                        help="re-executions per workload before quarantine")
+    p_camp.add_argument("--trace", action="store_true",
+                        help="write per-worker telemetry traces plus a "
+                        "merged trace.jsonl into the campaign directory")
+
+    p_stats = sub.add_parser(
+        "stats", help="render a campaign summary from JSONL trace(s)"
+    )
+    p_stats.add_argument(
+        "traces", nargs="+", metavar="trace",
+        help="trace file(s) written with --trace; multiple files merge "
+        "(e.g. a parallel campaign's per-worker traces)",
+    )
     p_stats.add_argument(
         "--chrome",
         metavar="OUT",
         help="also convert the trace to a Chrome trace-event file "
-        "(load in chrome://tracing or Perfetto)",
+        "(load in chrome://tracing or Perfetto); single trace only",
     )
     return parser
 
@@ -296,7 +474,7 @@ def main(argv=None) -> int:
     if hasattr(args, "fs_flag"):
         if args.fs is None:
             args.fs = args.fs_flag
-        if args.fs is None:
+        if args.fs is None and not getattr(args, "resume", None):
             parser.error(f"{args.command}: a file system is required "
                          "(positional or --fs)")
     handlers = {
@@ -304,9 +482,19 @@ def main(argv=None) -> int:
         "test": cmd_test,
         "ace": cmd_ace,
         "fuzz": cmd_fuzz,
+        "campaign": cmd_campaign,
         "stats": cmd_stats,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output was piped into something that exited early (`... | head`);
+        # that is the reader's prerogative, not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

@@ -41,10 +41,10 @@ class CampaignSummary:
             self.truncated_workloads += 1
         for stage, dt in getattr(result, "stage_times", {}).items():
             self.stage_totals[stage] = self.stage_totals.get(stage, 0.0) + dt
-        before = len(self.triage.clusters)
-        self.triage.add_all(result.reports)
-        for index in range(before, len(self.triage.clusters)):
-            self.first_seen[index] = self.workloads_tested
+        new = self.triage.add_new(result.reports)
+        base = len(self.triage.clusters) - len(new)
+        for offset in range(len(new)):
+            self.first_seen[base + offset] = self.workloads_tested
 
     @property
     def clusters(self) -> List[Cluster]:
@@ -92,8 +92,68 @@ def _telemetry_section(summary: CampaignSummary) -> List[str]:
     return lines
 
 
-def render_markdown(summary: CampaignSummary, title: Optional[str] = None) -> str:
-    """Render a campaign summary as a markdown report."""
+def _engine_section(engine_meta: Optional[Dict[str, object]],
+                    quarantined: Optional[List[dict]]) -> List[str]:
+    """Markdown block for the parallel campaign engine's run metadata."""
+    lines: List[str] = []
+    if engine_meta:
+        lines += ["## Campaign engine", ""]
+        lines.append(f"- **workers:** {engine_meta.get('workers', '?')}")
+        if engine_meta.get("wall_clock") is not None:
+            lines.append(
+                f"- **wall clock:** {float(engine_meta['wall_clock']):.1f}s"
+            )
+        lines.append(
+            f"- **scheduling:** {engine_meta.get('dispatched', 0)} dispatched, "
+            f"{engine_meta.get('steals', 0)} stolen, "
+            f"{engine_meta.get('requeues', 0)} requeued"
+        )
+        if engine_meta.get("workers_killed"):
+            lines.append(
+                f"- **workers killed:** {engine_meta['workers_killed']} "
+                f"(crash or per-workload timeout)"
+            )
+        if engine_meta.get("items_resumed"):
+            lines.append(
+                f"- **resumed:** {engine_meta['items_resumed']} workload(s) "
+                f"restored from the checkpoint journal, not re-executed"
+            )
+        if engine_meta.get("interrupted"):
+            lines.append(
+                "- **interrupted:** campaign stopped early; findings are a "
+                "lower bound (resume with `--resume`)"
+            )
+        lines.append("")
+    if quarantined:
+        lines += ["## Quarantined workloads", ""]
+        lines.append(
+            f"{len(quarantined)} workload(s) exhausted their retry budget "
+            f"and were excluded; their coverage is missing from this report."
+        )
+        lines.append("")
+        lines.append("| workload | retries | last error |")
+        lines.append("| --- | ---: | --- |")
+        for record in quarantined:
+            lines.append(
+                f"| `{record.get('id', '?')}` | {record.get('retries', '?')} "
+                f"| {record.get('error', '?')} |"
+            )
+        lines.append("")
+    return lines
+
+
+def render_markdown(
+    summary: CampaignSummary,
+    title: Optional[str] = None,
+    engine_meta: Optional[Dict[str, object]] = None,
+    quarantined: Optional[List[dict]] = None,
+) -> str:
+    """Render a campaign summary as a markdown report.
+
+    ``engine_meta`` and ``quarantined`` come from the parallel campaign
+    engine (:mod:`repro.campaign`); serial callers omit them and get the
+    original report shape.
+    """
     lines: List[str] = []
     lines.append(f"# {title or f'Crash-consistency report: {summary.fs_name}'}")
     lines.append("")
@@ -112,6 +172,7 @@ def render_markdown(summary: CampaignSummary, title: Optional[str] = None) -> st
         )
     lines.append(f"- **findings:** {len(summary.clusters)} triaged cluster(s)")
     lines.append("")
+    lines.extend(_engine_section(engine_meta, quarantined))
     lines.extend(_telemetry_section(summary))
     if not summary.clusters:
         lines.append("No crash-consistency violations found.")

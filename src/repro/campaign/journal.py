@@ -1,0 +1,148 @@
+"""Checkpoint journal: append-only JSONL that makes campaigns killable.
+
+Record types (one JSON object per line)::
+
+    {"type": "campaign_meta", "spec": {...}, "n_items": N}
+    {"type": "item_done", "id": "ace:1:000007", "ordinal": 7, "worker": 0,
+     "retries": 0, "results": [<TestResult.to_dict()>, ...]}
+    {"type": "item_quarantined", "id": ..., "ordinal": ..., "retries": R,
+     "error": "..."}
+    {"type": "campaign_done", "elapsed": ...}
+
+Every record is flushed and fsync'd on append, so a SIGKILL at any point
+loses at most the in-flight (unjournaled) workloads — exactly the ones
+``--resume`` is allowed to re-run.  A torn final line (the kill landed
+mid-write) is detected and ignored on replay; the item it described simply
+runs again.
+
+``item_done`` carries the item's full serialized results (reports included)
+rather than a bare index: the merge stage rebuilds the campaign's entire
+bug set from the journal alone, which is what makes a resumed campaign's
+report equal an uninterrupted one without re-executing finished work.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class JournalState:
+    """Everything replayable from a journal file."""
+
+    spec_dict: Optional[Dict[str, object]] = None
+    n_items: Optional[int] = None
+    #: item id -> list of serialized TestResult dicts.
+    results: Dict[str, List[dict]] = field(default_factory=dict)
+    #: item id -> ordinal (canonical merge order).
+    ordinals: Dict[str, int] = field(default_factory=dict)
+    #: item id -> quarantine record.
+    quarantined: Dict[str, dict] = field(default_factory=dict)
+    completed_marker: bool = False
+    torn_lines: int = 0
+
+    @property
+    def done_ids(self) -> set:
+        return set(self.results) | set(self.quarantined)
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal for one campaign directory."""
+
+    FILENAME = "journal.jsonl"
+
+    def __init__(self, campaign_dir: str) -> None:
+        self.path = os.path.join(campaign_dir, self.FILENAME)
+        self._fh: Optional[io.TextIOBase] = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def open(self) -> None:
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def _append(self, record: Dict[str, object]) -> None:
+        if self._fh is None:
+            raise RuntimeError("journal is not open")
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        # Flush + fsync per record: the journal is the campaign's crash
+        # consistency, so it gets the durability the tested file systems
+        # only aspire to.
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def write_meta(self, spec_dict: Dict[str, object], n_items: int) -> None:
+        self._append({"type": "campaign_meta", "spec": spec_dict,
+                      "n_items": n_items})
+
+    def write_item_done(
+        self, item_id: str, ordinal: int, worker: int, retries: int,
+        results: List[dict],
+    ) -> None:
+        self._append({
+            "type": "item_done", "id": item_id, "ordinal": ordinal,
+            "worker": worker, "retries": retries, "results": results,
+        })
+
+    def write_item_quarantined(
+        self, item_id: str, ordinal: int, retries: int, error: str,
+    ) -> None:
+        self._append({
+            "type": "item_quarantined", "id": item_id, "ordinal": ordinal,
+            "retries": retries, "error": error,
+        })
+
+    def write_done(self, elapsed: float) -> None:
+        self._append({"type": "campaign_done", "elapsed": elapsed})
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    @classmethod
+    def replay(cls, campaign_dir: str) -> JournalState:
+        """Parse a journal, tolerating a torn final line."""
+        state = JournalState()
+        path = os.path.join(campaign_dir, cls.FILENAME)
+        if not os.path.exists(path):
+            return state
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A kill mid-append tears at most the last line; the
+                    # item it described is simply not marked done.
+                    state.torn_lines += 1
+                    continue
+                kind = record.get("type")
+                if kind == "campaign_meta":
+                    state.spec_dict = dict(record.get("spec", {}))
+                    state.n_items = record.get("n_items")
+                elif kind == "item_done":
+                    item_id = str(record.get("id"))
+                    state.results[item_id] = list(record.get("results", []))
+                    state.ordinals[item_id] = int(record.get("ordinal", 0))
+                    # A resume may legitimately re-complete an item that was
+                    # in flight at kill time; last write wins.
+                    state.quarantined.pop(item_id, None)
+                elif kind == "item_quarantined":
+                    item_id = str(record.get("id"))
+                    if item_id not in state.results:
+                        state.quarantined[item_id] = record
+                        state.ordinals[item_id] = int(record.get("ordinal", 0))
+                elif kind == "campaign_done":
+                    state.completed_marker = True
+        return state

@@ -99,6 +99,53 @@ class TestResult:
             for c in self.clusters
         )
 
+    # ------------------------------------------------------------------
+    # JSON round-trip.  Campaign workers return results to the parent as
+    # dicts, and the checkpoint journal persists them across kills; the
+    # merge stage rebuilds real ``TestResult`` objects so every existing
+    # aggregator (``CampaignSummary``, ``CampaignStats``) works unchanged.
+    # Clusters are not serialized — they are a pure function of the reports
+    # and are re-derived on load, which keeps the journal compact.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload_desc": self.workload_desc,
+            "reports": [r.to_dict() for r in self.reports],
+            "n_crash_states": self.n_crash_states,
+            "n_unique_states": self.n_unique_states,
+            "n_fences": self.n_fences,
+            "log_length": self.log_length,
+            "inflight": {k: list(v) for k, v in self.inflight.items()},
+            "elapsed": self.elapsed,
+            "errnos": list(self.errnos),
+            "stage_times": dict(self.stage_times),
+            "truncated": self.truncated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TestResult":
+        reports = [BugReport.from_dict(r) for r in data.get("reports", [])]
+        return cls(
+            workload_desc=str(data["workload_desc"]),
+            reports=reports,
+            clusters=triage_reports(reports),
+            n_crash_states=int(data.get("n_crash_states", 0)),
+            n_unique_states=int(data.get("n_unique_states", 0)),
+            n_fences=int(data.get("n_fences", 0)),
+            log_length=int(data.get("log_length", 0)),
+            inflight={
+                str(k): [int(c) for c in v]
+                for k, v in dict(data.get("inflight", {})).items()
+            },
+            elapsed=float(data.get("elapsed", 0.0)),
+            errnos=list(data.get("errnos", [])),
+            stage_times={
+                str(k): float(v)
+                for k, v in dict(data.get("stage_times", {})).items()
+            },
+            truncated=bool(data.get("truncated", False)),
+        )
+
 
 class Chipmunk:
     """Crash-consistency tester for one file system configuration."""

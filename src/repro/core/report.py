@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class Consequence(enum.Enum):
@@ -62,6 +62,39 @@ class BugReport:
         if self.paths:
             lines.append(f"  paths:    {', '.join(self.paths)}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip — campaign workers ship reports across process
+    # boundaries and the checkpoint journal persists them between runs.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fs_name": self.fs_name,
+            "consequence": self.consequence.name,
+            "workload_desc": self.workload_desc,
+            "crash_desc": self.crash_desc,
+            "detail": self.detail,
+            "syscall": self.syscall,
+            "syscall_name": self.syscall_name,
+            "mid_syscall": self.mid_syscall,
+            "n_replayed": self.n_replayed,
+            "paths": list(self.paths),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BugReport":
+        return cls(
+            fs_name=str(data["fs_name"]),
+            consequence=Consequence[str(data["consequence"])],
+            workload_desc=str(data["workload_desc"]),
+            crash_desc=str(data["crash_desc"]),
+            detail=str(data["detail"]),
+            syscall=data.get("syscall"),
+            syscall_name=data.get("syscall_name"),
+            mid_syscall=bool(data.get("mid_syscall", False)),
+            n_replayed=int(data.get("n_replayed", 0)),
+            paths=tuple(data.get("paths", ())),
+        )
 
 
 @dataclass

@@ -77,6 +77,17 @@ class Triage:
         for report in reports:
             self.add(report)
 
+    def add_new(self, reports: List[BugReport]) -> List[Cluster]:
+        """Insert a batch, returning only the clusters it *founded*.
+
+        The campaign layers (``CampaignStats``, ``CampaignSummary``, the
+        parallel merge stage) all need "which clusters are new?" to emit
+        time-to-bug points; this replaces their before/after length dance.
+        """
+        before = len(self.clusters)
+        self.add_all(reports)
+        return self.clusters[before:]
+
     @property
     def unique(self) -> List[BugReport]:
         return [c.exemplar for c in self.clusters]

@@ -100,12 +100,11 @@ class CampaignStats:
             name = report.consequence.name
             self.outcome_counts[name] = self.outcome_counts.get(name, 0) + 1
         self._merge_inflight(self.fs_name, result.inflight)
-        before = len(self._triage.clusters)
-        self._triage.add_all(result.reports)
-        for index in range(before, len(self._triage.clusters)):
-            exemplar = self._triage.clusters[index].exemplar
-            self._record_cluster(index, self.n_workloads, self.wall_time,
-                                 exemplar.consequence.name)
+        new = self._triage.add_new(result.reports)
+        base = len(self._triage.clusters) - len(new)
+        for offset, cluster in enumerate(new):
+            self._record_cluster(base + offset, self.n_workloads, self.wall_time,
+                                 cluster.exemplar.consequence.name)
 
     def _record_cluster(self, cluster: int, workload: int, t: float,
                         consequence: str) -> None:
@@ -147,24 +146,49 @@ class CampaignStats:
     @classmethod
     def from_trace(cls, path: str) -> "CampaignStats":
         """Rebuild campaign aggregates from a ``--trace`` JSONL file."""
+        return cls.from_traces([path])
+
+    @classmethod
+    def from_traces(cls, paths: Sequence[str]) -> "CampaignStats":
+        """Rebuild aggregates from one or more JSONL traces, merged.
+
+        Multiple traces arise from parallel campaigns — one file per
+        worker (``python -m repro stats DIR/worker-*.trace.jsonl``).
+        Counters and histograms add; ``cluster_found`` events carry
+        per-trace cluster numbering (each worker triages its own universe),
+        so the merged time-to-bug series is re-numbered in discovery-time
+        order.  Note this series counts *per-worker* discoveries: the
+        cross-worker dedup of the final bug set happens in the campaign
+        merge stage, not here.
+        """
         stats = cls()
-        for rec in read_jsonl(path):
-            kind = rec.get("type")
-            if kind == "meta":
-                stats.meta.update({k: v for k, v in rec.items() if k != "type"})
-                stats.fs_name = str(stats.meta.get("fs", stats.fs_name))
-                stats.generator = str(stats.meta.get("generator", stats.generator))
-            elif kind == "event" and rec.get("name") == "workload_result":
-                stats._fold_workload_event(rec.get("fields", {}))
-            elif kind == "event" and rec.get("name") == "cluster_found":
-                f = rec.get("fields", {})
-                stats.time_to_bug.append(TimeToBug(
-                    cluster=int(f.get("cluster", len(stats.time_to_bug))),
-                    workload=int(f.get("workload", 0)),
-                    t=float(f.get("t", 0.0)),
-                    consequence=str(f.get("consequence", "?")),
-                ))
-        stats.time_to_bug.sort(key=lambda e: e.cluster)
+        for path in paths:
+            for rec in read_jsonl(path):
+                kind = rec.get("type")
+                if kind == "meta":
+                    stats.meta.update(
+                        {k: v for k, v in rec.items() if k != "type"}
+                    )
+                    stats.fs_name = str(stats.meta.get("fs", stats.fs_name))
+                    stats.generator = str(
+                        stats.meta.get("generator", stats.generator)
+                    )
+                elif kind == "event" and rec.get("name") == "workload_result":
+                    stats._fold_workload_event(rec.get("fields", {}))
+                elif kind == "event" and rec.get("name") == "cluster_found":
+                    f = rec.get("fields", {})
+                    stats.time_to_bug.append(TimeToBug(
+                        cluster=int(f.get("cluster", len(stats.time_to_bug))),
+                        workload=int(f.get("workload", 0)),
+                        t=float(f.get("t", 0.0)),
+                        consequence=str(f.get("consequence", "?")),
+                    ))
+        stats.time_to_bug.sort(key=lambda e: (e.t, e.workload, e.cluster))
+        if len(paths) > 1:
+            stats.time_to_bug = [
+                TimeToBug(i, e.workload, e.t, e.consequence)
+                for i, e in enumerate(stats.time_to_bug)
+            ]
         return stats
 
     def _fold_workload_event(self, fields: Dict[str, object]) -> None:

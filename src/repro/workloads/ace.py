@@ -213,3 +213,31 @@ def count(seq: int, mode: str = "pm") -> int:
     """Number of seq-``seq`` workloads without generating them."""
     space = metadata_op_space() if seq >= 3 else core_op_space()
     return len(space) ** seq
+
+
+def workload_at(seq: int, index: int, mode: str = "pm") -> AceWorkload:
+    """Random access into the workload space: the workload :func:`generate`
+    would yield at ``index``, computed in O(``seq``) without enumeration.
+
+    ``itertools.product`` enumerates with the *last* position varying
+    fastest, so ``index`` decodes as a base-``len(space)`` numeral whose
+    most significant digit selects the first op.  Campaign workers use this
+    to regenerate exactly the workloads their shard names, so a work item
+    travels across process (or machine) boundaries as a bare integer.
+    """
+    if mode not in ("pm", "fsync"):
+        raise ValueError(f"unknown ACE mode {mode!r}")
+    space = metadata_op_space() if seq >= 3 else core_op_space()
+    total = len(space) ** seq
+    if not 0 <= index < total:
+        raise ValueError(f"index {index} out of range for seq-{seq} ({total})")
+    digits: List[int] = []
+    remaining = index
+    for _ in range(seq):
+        remaining, digit = divmod(remaining, len(space))
+        digits.append(digit)
+    core: List[Op] = [space[d] for d in reversed(digits)]
+    setup = build_setup(core)
+    if mode == "fsync":
+        core = _with_fsync(core)
+    return AceWorkload(setup=tuple(setup), core=tuple(core), seq=seq, index=index)

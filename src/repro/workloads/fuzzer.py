@@ -225,24 +225,31 @@ class WorkloadFuzzer:
         time_budget: Optional[float] = None,
         stop_after_clusters: Optional[int] = None,
     ) -> FuzzStats:
-        """Fuzz until a budget is exhausted; returns the campaign stats."""
+        """Fuzz until a budget is exhausted; returns the campaign stats.
+
+        The stats are finalized even when the loop exits by exception
+        (notably ``KeyboardInterrupt``), so an interrupted campaign still
+        reports its partial progress accurately via :attr:`stats`.
+        """
         start = time.perf_counter()
-        while True:
+        try:
+            while True:
+                self.stats.elapsed = time.perf_counter() - start
+                if max_executions is not None and self.stats.executions >= max_executions:
+                    break
+                if time_budget is not None and self.stats.elapsed >= time_budget:
+                    break
+                if (
+                    stop_after_clusters is not None
+                    and len(self.triage.clusters) >= stop_after_clusters
+                ):
+                    break
+                self.step()
+        finally:
             self.stats.elapsed = time.perf_counter() - start
-            if max_executions is not None and self.stats.executions >= max_executions:
-                break
-            if time_budget is not None and self.stats.elapsed >= time_budget:
-                break
-            if (
-                stop_after_clusters is not None
-                and len(self.triage.clusters) >= stop_after_clusters
-            ):
-                break
-            self.step()
-        self.stats.elapsed = time.perf_counter() - start
-        self.stats.corpus_size = len(self.corpus)
-        self.stats.coverage_points = len(self.coverage)
-        self.stats.clusters = len(self.triage.clusters)
+            self.stats.corpus_size = len(self.corpus)
+            self.stats.coverage_points = len(self.coverage)
+            self.stats.clusters = len(self.triage.clusters)
         return self.stats
 
     @property

@@ -1,0 +1,111 @@
+"""Work items, shard assignment, and the work-stealing queue."""
+
+import pytest
+
+from repro.campaign.queue import ShardedWorkQueue, WorkItem, build_items
+from repro.campaign.spec import CampaignSpec
+from repro.workloads.ace import count
+
+
+def ace_items(n, seq=1):
+    return [WorkItem.ace(seq, i, i) for i in range(n)]
+
+
+class TestWorkItem:
+    def test_ace_item_id_is_stable(self):
+        assert WorkItem.ace(2, 7, 7).item_id == "ace:2:000007"
+
+    def test_fuzz_item_id(self):
+        assert WorkItem.fuzz(13, 25, 0).item_id == "fuzz:13"
+
+    def test_round_trip(self):
+        for item in (WorkItem.ace(2, 7, 9), WorkItem.fuzz(3, 25, 1)):
+            assert WorkItem.from_dict(item.to_dict()) == item
+
+
+class TestBuildItems:
+    def test_ace_full_space(self):
+        spec = CampaignSpec(fs="nova", seq=1)
+        items = build_items(spec)
+        assert len(items) == count(1)
+        assert [i.ordinal for i in items] == list(range(count(1)))
+
+    def test_ace_cap_is_per_sequence_like_the_serial_path(self):
+        # ``cmd_ace --seq 2 --max-workloads 10`` runs 10 seq-1 plus
+        # 10 seq-2 workloads; the campaign item list must match.
+        spec = CampaignSpec(fs="nova", seq=2, max_workloads=10)
+        items = build_items(spec)
+        assert len(items) == 20
+        assert [(i.seq, i.index) for i in items[:3]] == [(1, 0), (1, 1), (1, 2)]
+        assert [(i.seq, i.index) for i in items[10:13]] == [(2, 0), (2, 1), (2, 2)]
+
+    def test_item_ids_unique(self):
+        spec = CampaignSpec(fs="nova", seq=2, max_workloads=30)
+        items = build_items(spec)
+        assert len({i.item_id for i in items}) == len(items)
+
+    def test_fuzz_segments_split_seed_space(self):
+        spec = CampaignSpec(fs="pmfs", generator="fuzz", seed=5, segments=3,
+                            executions=7)
+        items = build_items(spec)
+        assert [i.seed for i in items] == [5, 6, 7]
+        assert all(i.executions == 7 for i in items)
+
+
+class TestShardedWorkQueue:
+    def test_items_stripe_round_robin_by_ordinal(self):
+        q = ShardedWorkQueue(3, ace_items(9))
+        assert [i.ordinal for i in q.shards[0]] == [0, 3, 6]
+        assert [i.ordinal for i in q.shards[1]] == [1, 4, 7]
+        assert [i.ordinal for i in q.shards[2]] == [2, 5, 8]
+
+    def test_owner_drains_home_shard_first(self):
+        q = ShardedWorkQueue(2, ace_items(6))
+        batch = q.next_batch(0, 2)
+        assert [i.ordinal for i in batch] == [0, 2]
+        assert q.stats.steals == 0
+
+    def test_steals_from_fullest_shard_tail_when_home_is_dry(self):
+        q = ShardedWorkQueue(2, ace_items(6))
+        q.next_batch(0, 3)  # drains shard 0 (ordinals 0, 2, 4)
+        batch = q.next_batch(0, 2)
+        # Shard 0 is dry: steal from shard 1's tail (newest first).
+        assert [i.ordinal for i in batch] == [5, 3]
+        assert q.stats.steals == 2
+
+    def test_batch_spans_home_then_steal(self):
+        q = ShardedWorkQueue(2, ace_items(4))
+        batch = q.next_batch(1, 4)
+        assert [i.ordinal for i in batch] == [1, 3, 2, 0]
+        assert q.stats.steals == 2
+
+    def test_empty_queue_yields_empty_batch(self):
+        q = ShardedWorkQueue(2, [])
+        assert q.next_batch(0, 8) == []
+        assert len(q) == 0
+
+    def test_requeue_goes_to_home_shard_head(self):
+        items = ace_items(6)
+        q = ShardedWorkQueue(2, items)
+        taken = q.next_batch(0, 1)
+        q.requeue(taken)
+        assert [i.ordinal for i in q.shards[0]] == [0, 2, 4]
+        assert q.stats.requeues == 1
+
+    def test_union_of_batches_is_exhaustive_and_disjoint(self):
+        q = ShardedWorkQueue(3, ace_items(20))
+        seen = []
+        while len(q):
+            for shard in range(3):
+                seen.extend(i.ordinal for i in q.next_batch(shard, 2))
+        assert sorted(seen) == list(range(20))
+        assert len(seen) == len(set(seen))
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedWorkQueue(0, [])
+
+    def test_rejects_bad_shard_index(self):
+        q = ShardedWorkQueue(2, ace_items(2))
+        with pytest.raises(ValueError):
+            q.next_batch(2, 1)

@@ -135,3 +135,64 @@ class TestTelemetryCLI:
         assert "Campaign: nova (fuzz)" in out
         assert "seed=11" not in out  # this trace used seed 3
         assert "seed=3" in out
+
+    def test_stats_merges_multiple_traces(self, tmp_path, capsys):
+        first = str(tmp_path / "a.jsonl")
+        second = str(tmp_path / "b.jsonl")
+        main(["ace", "nova", "--fixed", "--max-workloads", "5",
+              "--trace", first])
+        main(["ace", "nova", "--fixed", "--max-workloads", "5",
+              "--trace", second])
+        capsys.readouterr()
+        assert main(["stats", first, second]) == 0
+        out = capsys.readouterr().out
+        assert "[stats] merged 2 trace files" in out
+        assert "Per-stage timings" in out
+
+    def test_stats_chrome_rejects_multiple_traces(self, tmp_path, capsys):
+        first = str(tmp_path / "a.jsonl")
+        second = str(tmp_path / "b.jsonl")
+        main(["ace", "nova", "--fixed", "--max-workloads", "3",
+              "--trace", first])
+        main(["ace", "nova", "--fixed", "--max-workloads", "3",
+              "--trace", second])
+        capsys.readouterr()
+        code = main(["stats", first, second,
+                     "--chrome", str(tmp_path / "c.json")])
+        assert code == 2
+        assert "single trace" in capsys.readouterr().err
+
+
+class TestCampaignCLI:
+    def test_campaign_smoke(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "camp")
+        code = main(["campaign", "nova", "--workers", "2",
+                     "--max-workloads", "12", "--out", out_dir])
+        assert code == 1  # NOVA's bug catalogue reproduces within 12 workloads
+        out = capsys.readouterr().out
+        assert "12 workloads" in out
+        assert "2 workers" in out
+        assert (tmp_path / "camp" / "report.md").exists()
+        assert (tmp_path / "camp" / "journal.jsonl").exists()
+
+    def test_campaign_resume_reuses_journaled_work(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "camp")
+        main(["campaign", "nova", "--max-workloads", "8", "--out", out_dir])
+        capsys.readouterr()
+        code = main(["campaign", "--resume", out_dir])
+        assert code == 1
+        assert "8 workloads" in capsys.readouterr().out
+
+    def test_campaign_refuses_dir_reuse_without_resume(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "camp")
+        main(["campaign", "nova", "--max-workloads", "6", "--out", out_dir])
+        capsys.readouterr()
+        code = main(["campaign", "nova", "--max-workloads", "6",
+                     "--out", out_dir])
+        assert code == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_campaign_requires_fs_or_resume(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign"])
+        assert "file system is required" in capsys.readouterr().err

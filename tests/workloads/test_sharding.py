@@ -3,9 +3,16 @@
 import itertools
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.workloads.ace import count
-from repro.workloads.sharding import shard, shard_sizes
+from repro.workloads.ace import count, generate, workload_at
+from repro.workloads.sharding import (
+    assign_shard,
+    shard,
+    shard_indices,
+    shard_sizes,
+)
 
 
 class TestShard:
@@ -50,3 +57,53 @@ class TestShardSizes:
         sizes = shard_sizes(1, 3)
         for i, expected in enumerate(sizes):
             assert sum(1 for _ in shard(1, 3, i)) == expected
+
+
+class TestShardProperties:
+    """Property tests: the invariants the campaign engine relies on."""
+
+    @given(total=st.integers(0, 4000), n_shards=st.integers(1, 16))
+    @settings(deadline=None)
+    def test_index_shards_partition_the_space(self, total, n_shards):
+        # Disjoint and exhaustive: every index lands in exactly one shard.
+        combined = []
+        for k in range(n_shards):
+            combined.extend(shard_indices(total, n_shards, k))
+        assert sorted(combined) == list(range(total))
+
+    @given(index=st.integers(0, 5000), n_shards=st.integers(1, 16))
+    @settings(deadline=None)
+    def test_assignment_is_stable_and_consistent(self, index, n_shards):
+        # The same index always maps to the same shard, and membership via
+        # shard_indices agrees with assign_shard.
+        k = assign_shard(index, n_shards)
+        assert k == assign_shard(index, n_shards)
+        assert 0 <= k < n_shards
+        assert index in set(shard_indices(index + 1, n_shards, k))
+
+    @given(seq=st.integers(1, 2), n_shards=st.integers(1, 32))
+    @settings(deadline=None)
+    def test_shard_sizes_sum_to_sequence_count(self, seq, n_shards):
+        sizes = shard_sizes(seq, n_shards)
+        assert sum(sizes) == count(seq)
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == [
+            sum(1 for _ in shard_indices(count(seq), n_shards, k))
+            for k in range(n_shards)
+        ]
+
+    @given(index=st.integers(0, count(2) - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_workload_at_matches_generate_seq2(self, index):
+        regenerated = workload_at(2, index)
+        streamed = next(itertools.islice(generate(2), index, None))
+        assert regenerated.index == streamed.index == index
+        assert regenerated.core == streamed.core
+        assert regenerated.setup == streamed.setup
+
+    def test_workload_at_matches_generate_full_seq1_both_modes(self):
+        for mode in ("pm", "fsync"):
+            for i, streamed in enumerate(generate(1, mode=mode)):
+                regenerated = workload_at(1, i, mode=mode)
+                assert regenerated.core == streamed.core
+                assert regenerated.setup == streamed.setup
