@@ -15,7 +15,7 @@ import pytest
 
 from conftest import best_of, print_table, run_once
 
-from repro.core import Chipmunk
+from repro.core import Chipmunk, ChipmunkConfig
 from repro.fs.bugs import BugConfig
 from repro.obs import NullTelemetry, Telemetry
 
@@ -24,8 +24,9 @@ from bench_micro import WORKLOAD
 ROUNDS = 7
 
 
-def _pipeline(telemetry=None):
-    cm = Chipmunk("nova", bugs=BugConfig.fixed(), telemetry=telemetry)
+def _pipeline(telemetry=None, config=None):
+    cm = Chipmunk("nova", bugs=BugConfig.fixed(), telemetry=telemetry,
+                  config=config)
 
     def run():
         result = cm.test_workload(WORKLOAD)
@@ -71,6 +72,44 @@ def test_bench_telemetry_overhead(benchmark):
     assert enabled < baseline * 1.5, (
         f"enabled telemetry overhead out of bounds "
         f"({enabled * 1000:.2f}ms vs {baseline * 1000:.2f}ms)"
+    )
+
+
+def test_bench_forensics_overhead(benchmark):
+    """Forensics capture must be pay-for-what-you-use, like telemetry.
+
+    Provenance is only materialized when a checker emits a report, so on a
+    clean run the enabled path costs one recorder construction per workload
+    and nothing per crash state.  The disabled path must therefore track the
+    enabled path within noise — and, per the DESIGN.md ceiling, enabled
+    capture may not regress the clean pipeline by more than 5%.
+    """
+
+    def experiment():
+        disabled = best_of(
+            _pipeline(config=ChipmunkConfig(forensics=False)), rounds=ROUNDS
+        )
+        enabled = best_of(
+            _pipeline(config=ChipmunkConfig(forensics=True)), rounds=ROUNDS
+        )
+        return disabled, enabled
+
+    disabled, enabled = run_once(benchmark, experiment)
+
+    rows = [
+        ("forensics disabled", f"{disabled * 1000:.2f}", "1.00x"),
+        ("forensics enabled", f"{enabled * 1000:.2f}",
+         f"{enabled / disabled:.2f}x"),
+    ]
+    print_table(
+        "Forensics overhead: 5-op pipeline workload (nova, fixed)",
+        ("configuration", "best-of-%d (ms)" % ROUNDS, "relative"),
+        rows,
+    )
+
+    assert enabled < disabled * 1.05, (
+        f"forensics capture on a clean run must stay within 5% of the "
+        f"disabled path ({enabled * 1000:.2f}ms vs {disabled * 1000:.2f}ms)"
     )
 
 

@@ -18,7 +18,14 @@ Commands
 ``stats``
     Render a campaign summary from one or more JSONL traces written with
     ``--trace`` (multiple files merge — e.g. a parallel campaign's
-    per-worker traces).
+    per-worker traces); ``--json`` emits the same aggregates as JSON.
+``explain``
+    Offline bug forensics: rebuild the crash state of a saved report
+    (``--save-reports`` / a campaign's ``bugs.json``), confirm it still
+    reproduces, optionally minimize the culprit store set
+    (``--minimize``), and print the fence-epoch ordering timeline plus an
+    annotated image diff; ``--chrome OUT`` also writes the lineage as a
+    Chrome trace.
 
 The testing commands accept ``--trace FILE`` (write a JSONL telemetry
 trace) and ``--metrics`` (print the metrics snapshot); the file system can
@@ -41,6 +48,8 @@ Examples
     python -m repro campaign --resume /tmp/camp --workers 4
     python -m repro stats /tmp/t.jsonl --chrome /tmp/t.chrome.json
     python -m repro stats /tmp/camp/worker-*.trace.jsonl
+    python -m repro ace nova --seq 2 --save-reports /tmp/bugs.json
+    python -m repro explain /tmp/bugs.json --minimize --chrome /tmp/bug.trace
 """
 
 from __future__ import annotations
@@ -118,6 +127,21 @@ def _finish_telemetry(args, tel: Optional[Telemetry]) -> None:
                 print(f"  {record['name']}: {record['value']}")
 
 
+def _save_reports(path: str, reports) -> None:
+    """Write bug reports (with provenance) as a ``{"reports": [...]}`` doc."""
+    doc = {"reports": [r.to_dict() for r in reports]}
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+    except OSError as exc:
+        print(
+            f"[reports] error: cannot write {path!r}: {exc.strerror or exc}",
+            file=sys.stderr,
+        )
+    else:
+        print(f"[reports] saved {len(doc['reports'])} report(s) to {path}")
+
+
 def cmd_list_bugs(_args) -> int:
     print(f"{'id':>3}  {'file systems':<20} {'type':<6} consequence")
     print("-" * 78)
@@ -142,6 +166,8 @@ def cmd_test(args) -> int:
     for cluster in result.clusters:
         print()
         print(cluster.describe())
+    if args.save_reports:
+        _save_reports(args.save_reports, result.reports)
     _finish_telemetry(args, tel)
     return 1 if result.buggy else 0
 
@@ -156,6 +182,7 @@ def cmd_ace(args) -> int:
     )
     mode = "pm" if FS_CLASSES()[args.fs].strong_guarantees else "fsync"
     stats = CampaignStats(fs_name=args.fs, generator="ace", telemetry=tel)
+    saved_reports: List = []
     interrupted = False
     try:
         for seq in range(1, args.seq + 1):
@@ -163,7 +190,10 @@ def cmd_ace(args) -> int:
             if args.max_workloads:
                 workloads = itertools.islice(workloads, args.max_workloads)
             for w in workloads:
-                stats.add_result(chipmunk.test_workload(w.core, setup=w.setup))
+                result = chipmunk.test_workload(w.core, setup=w.setup)
+                stats.add_result(result)
+                if args.save_reports:
+                    saved_reports.extend(result.reports)
     except KeyboardInterrupt:
         # Flush what we have rather than dying with a raw traceback: the
         # partial summary and telemetry of a long campaign are still data.
@@ -178,6 +208,8 @@ def cmd_ace(args) -> int:
     for cluster in stats.clusters:
         print()
         print(cluster.describe())
+    if args.save_reports:
+        _save_reports(args.save_reports, saved_reports)
     _finish_telemetry(args, tel)
     if interrupted:
         return 130
@@ -311,6 +343,9 @@ def cmd_stats(args) -> int:
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         print(f"error: not a JSONL telemetry trace: {exc}", file=sys.stderr)
         return 2
+    if args.json:
+        print(json.dumps(stats.to_json_dict(), sort_keys=True, indent=2))
+        return 0
     if len(traces) > 1:
         print(f"[stats] merged {len(traces)} trace files")
     print(stats.render())
@@ -322,6 +357,46 @@ def cmd_stats(args) -> int:
         n = jsonl_to_chrome(traces[0], args.chrome)
         print(f"\nwrote {n} Chrome trace event(s) to {args.chrome}")
     return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.core.report import BugReport
+    from repro.forensics.explain import explain_report, load_report_dicts
+
+    try:
+        dicts = load_report_dicts(args.report)
+    except OSError as exc:
+        print(f"error: cannot read {args.report!r}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, ValueError) as exc:
+        print(f"error: not a bug-report document: {exc}", file=sys.stderr)
+        return 2
+    if not dicts:
+        print(f"error: {args.report!r} contains no reports", file=sys.stderr)
+        return 2
+    if not (0 <= args.index < len(dicts)):
+        print(
+            f"error: --index {args.index} out of range "
+            f"({len(dicts)} report(s) in {args.report!r})",
+            file=sys.stderr,
+        )
+        return 2
+    report = BugReport.from_dict(dicts[args.index])
+    if len(dicts) > 1:
+        print(f"[explain] report {args.index} of {len(dicts)} in {args.report}")
+    try:
+        explanation = explain_report(
+            report,
+            minimize=args.minimize,
+            budget=args.budget,
+            chrome_out=args.chrome,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(explanation.text)
+    return 0 if explanation.reproduced else 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -377,11 +452,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help='operation, e.g. "write /foo 0 65 512" (repeatable)',
     )
+    p_test.add_argument(
+        "--save-reports", metavar="FILE",
+        help="save bug reports (with provenance) as JSON for `repro explain`",
+    )
 
     p_ace = sub.add_parser("ace", help="run an ACE campaign")
     add_common(p_ace)
     p_ace.add_argument("--seq", type=int, default=1, choices=(1, 2, 3))
     p_ace.add_argument("--max-workloads", type=int, default=0)
+    p_ace.add_argument(
+        "--save-reports", metavar="FILE",
+        help="save bug reports (with provenance) as JSON for `repro explain`",
+    )
 
     p_fuzz = sub.add_parser("fuzz", help="run the gray-box fuzzer")
     add_common(p_fuzz)
@@ -464,6 +547,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="also convert the trace to a Chrome trace-event file "
         "(load in chrome://tracing or Perfetto); single trace only",
     )
+    p_stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the campaign aggregates as JSON instead of tables",
+    )
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="offline bug forensics from a saved report "
+        "(timeline, minimization, image diff)",
+    )
+    p_explain.add_argument(
+        "report", metavar="REPORT",
+        help="report JSON: `--save-reports` output, a campaign's bugs.json, "
+        "or a single serialized report",
+    )
+    p_explain.add_argument(
+        "--index", type=int, default=0,
+        help="which report to explain when the file holds several (default 0)",
+    )
+    p_explain.add_argument(
+        "--minimize", action="store_true",
+        help="delta-debug the dropped store set down to a minimal culprit set",
+    )
+    p_explain.add_argument(
+        "--budget", type=int, default=128,
+        help="maximum checker replays for --minimize (default 128)",
+    )
+    p_explain.add_argument(
+        "--chrome", metavar="OUT",
+        help="also write the store lineage as a Chrome trace-event file",
+    )
     return parser
 
 
@@ -484,6 +599,7 @@ def main(argv=None) -> int:
         "fuzz": cmd_fuzz,
         "campaign": cmd_campaign,
         "stats": cmd_stats,
+        "explain": cmd_explain,
     }
     try:
         return handlers[args.command](args)

@@ -142,6 +142,44 @@ def _engine_section(engine_meta: Optional[Dict[str, object]],
     return lines
 
 
+def _forensics_section(exemplar, finding_index: int) -> List[str]:
+    """Markdown forensics block for one cluster exemplar's provenance.
+
+    Shows the crash-region store lineage (the fence epoch the crash
+    interrupted, with each store's persistence fate) and points at
+    ``repro explain`` for the full timeline, minimization, and image diff.
+    """
+    prov = exemplar.provenance
+    if prov is None:
+        return []
+    counts = prov.counts()
+    lines: List[str] = ["**Forensics**", ""]
+    lines.append(
+        f"Crash {prov.where()} (fence epoch {prov.fence_index} of "
+        f"{prov.n_epochs}, state `{prov.state_kind}`): "
+        f"{counts['replayed']} in-flight store(s) persisted, "
+        f"{counts['dropped']} dropped, {counts['durable']} already durable."
+    )
+    region = [e for e in prov.crash_region() if e.kind in ("store", "flush")]
+    if region:
+        lines.append("")
+        lines.append("```")
+        for e in region:
+            lines.append(
+                f"seq {e.seq:>4}  {e.kind:<6} {e.status:<9} {e.func:<28} "
+                f"addr={e.addr:#08x} len={e.length}"
+            )
+        lines.append("```")
+    lines.append("")
+    lines.append(
+        f"Full timeline, store-set minimization, and image diff: "
+        f"`python -m repro explain bugs.json --index "
+        f"{finding_index - 1} --minimize`"
+    )
+    lines.append("")
+    return lines
+
+
 def render_markdown(
     summary: CampaignSummary,
     title: Optional[str] = None,
@@ -204,4 +242,5 @@ def render_markdown(
             lines.append("")
             lines.append(f"Affected paths: {', '.join(f'`{p}`' for p in exemplar.paths)}")
         lines.append("")
+        lines.extend(_forensics_section(exemplar, index))
     return "\n".join(lines)

@@ -23,6 +23,7 @@ multi-file ``python -m repro stats`` path consumes either form.
 from __future__ import annotations
 
 import glob
+import json
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -132,4 +133,14 @@ def merge_campaign(
         report_path = os.path.join(campaign_dir, "report.md")
         with open(report_path, "w", encoding="utf-8") as fh:
             fh.write(merged.render_markdown())
+        # One exemplar per triaged cluster, with provenance, in the
+        # `--save-reports` shape — `python -m repro explain
+        # DIR/bugs.json --index N` drives the forensic pass offline.
+        bugs_path = os.path.join(campaign_dir, "bugs.json")
+        with open(bugs_path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"reports": [c.exemplar.to_dict() for c in summary.clusters]},
+                fh,
+                sort_keys=True,
+            )
     return merged

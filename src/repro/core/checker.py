@@ -55,6 +55,7 @@ class ConsistencyChecker:
         bugs=None,
         config: Optional[CheckerConfig] = None,
         telemetry=None,
+        provenance=None,
     ) -> None:
         self.fs_class = fs_class
         self.oracle = oracle
@@ -62,6 +63,9 @@ class ConsistencyChecker:
         self.bugs = bugs
         self.config = config or CheckerConfig()
         self.telemetry = telemetry if telemetry is not None and telemetry.enabled else None
+        #: Optional :class:`~repro.forensics.provenance.ProvenanceRecorder`;
+        #: when attached, every report carries its crash state's lineage.
+        self.provenance = provenance
 
     # ------------------------------------------------------------------
     def check(self, state: CrashState) -> List[BugReport]:
@@ -260,6 +264,11 @@ class ConsistencyChecker:
             mid_syscall=state.mid_syscall,
             n_replayed=state.n_replayed,
             paths=paths,
+            provenance=(
+                self.provenance.for_state(state)
+                if self.provenance is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -45,6 +45,10 @@ class ChipmunkConfig:
     #: Override the crash-point strategy ("fence", "post", "fsync"); None
     #: picks "fence" for strong-guarantee systems and "fsync" otherwise.
     crash_points: Optional[str] = None
+    #: Attach store-level lineage (:mod:`repro.forensics`) to every bug
+    #: report.  Capture only runs for failing states, so the cost on clean
+    #: workloads is a no-op.
+    forensics: bool = True
 
 
 #: Pipeline stage keys of :attr:`TestResult.stage_times`, in execution order.
@@ -235,6 +239,25 @@ class Chipmunk:
                 f"probed run and oracle disagree on syscall results: "
                 f"{errnos} vs {oracle.errnos} for [{desc}]"
             )
+        crash_points = self.config.crash_points or (
+            "fence" if self.fs_class.strong_guarantees else "fsync"
+        )
+        recorder = None
+        if self.config.forensics:
+            from repro.forensics.provenance import ProvenanceRecorder
+
+            recorder = ProvenanceRecorder(
+                log,
+                fs_name=self.fs_class.name,
+                workload=workload,
+                setup=list(setup),
+                bug_ids=sorted(self.bugs.enabled),
+                cap=self.config.cap,
+                coalesce_threshold=self.config.coalesce_threshold,
+                device_size=self.config.device_size,
+                crash_points=crash_points,
+                usability_check=self.config.usability_check,
+            )
         checker = ConsistencyChecker(
             self.fs_class,
             oracle,
@@ -242,9 +265,7 @@ class Chipmunk:
             bugs=self.bugs,
             config=CheckerConfig(usability_check=self.config.usability_check),
             telemetry=tel,
-        )
-        crash_points = self.config.crash_points or (
-            "fence" if self.fs_class.strong_guarantees else "fsync"
+            provenance=recorder,
         )
         stats = ReplayStats()
         seen: set = set()

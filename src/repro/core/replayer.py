@@ -47,6 +47,19 @@ class CrashState:
     subset_desc: Tuple[str, ...]
     #: Number of in-flight write units replayed onto the persistent base.
     n_replayed: int
+    #: Index into ``PMLog.entries`` of the crash point: the fence or
+    #: syscall-end marker the state was emitted at (``len(log)`` for
+    #: end-of-log states).  Together with ``replayed_entries`` this pins the
+    #: state precisely enough to rematerialize it offline (forensics).
+    log_pos: int = 0
+    #: Positions, within the crash region's in-flight vector (program
+    #: order), of the write entries this state persisted.  Independent of
+    #: any unit ranker's ordering.
+    replayed_entries: Tuple[int, ...] = ()
+    #: Crash-point kind: ``"subset"`` (mid-region subset replay), ``"post"``
+    #: (post-syscall synchrony point, in-flight lost), ``"final"`` (end of
+    #: workload, everything persisted).
+    kind: str = "subset"
 
     def describe(self) -> str:
         where = (
@@ -155,7 +168,7 @@ def enumerate_crash_states(
         stats = ReplayStats()
     tel = telemetry if telemetry is not None and telemetry.enabled else None
 
-    def subset_states() -> Iterator[CrashState]:
+    def subset_states(log_pos: int) -> Iterator[CrashState]:
         units = coalesce_units(inflight, coalesce_threshold)
         if unit_ranker is not None and len(units) > 1:
             units = unit_ranker(units)
@@ -196,9 +209,14 @@ def enumerate_crash_states(
                     after_syscall=completed,
                     subset_desc=desc,
                     n_replayed=size,
+                    log_pos=log_pos,
+                    replayed_entries=tuple(
+                        program_order[id(e)] for e in chosen
+                    ),
+                    kind="subset",
                 )
 
-    for entry in log:
+    for log_pos, entry in enumerate(log):
         if isinstance(entry, SyscallBegin):
             in_syscall, in_name = entry.index, entry.name
         elif isinstance(entry, SyscallEnd):
@@ -219,11 +237,14 @@ def enumerate_crash_states(
                     if inflight
                     else ("<post-syscall>",),
                     n_replayed=0,
+                    log_pos=log_pos,
+                    replayed_entries=(),
+                    kind="post",
                 )
             in_syscall, in_name = None, None
         elif isinstance(entry, Fence):
             if crash_points == "fence":
-                yield from subset_states()
+                yield from subset_states(log_pos)
             apply_entries(persistent, inflight)
             inflight.clear()
             fence_index += 1
@@ -234,7 +255,7 @@ def enumerate_crash_states(
             inflight.append(entry)
 
     if crash_points == "fence":
-        yield from subset_states()
+        yield from subset_states(len(log))
     apply_entries(persistent, inflight)
     if crash_points in ("fence", "post"):
         # The final, fully persistent state: a crash after the workload
@@ -251,6 +272,9 @@ def enumerate_crash_states(
             after_syscall=completed,
             subset_desc=("<final state>",),
             n_replayed=0,
+            log_pos=len(log),
+            replayed_entries=tuple(range(len(inflight))),
+            kind="final",
         )
 
 

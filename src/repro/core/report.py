@@ -12,6 +12,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.forensics.provenance import CrashProvenance
+
 
 class Consequence(enum.Enum):
     """Classification of what the crash state violated."""
@@ -39,6 +41,10 @@ class BugReport:
     mid_syscall: bool = False
     n_replayed: int = 0
     paths: Tuple[str, ...] = ()
+    #: Store-level lineage and repro context (:mod:`repro.forensics`);
+    #: ``None`` when forensics capture is disabled.  Excluded from
+    #: :meth:`signature` so triage clustering is unaffected.
+    provenance: Optional[CrashProvenance] = None
 
     def signature(self) -> str:
         """Lexical signature used by the triage clustering."""
@@ -79,6 +85,9 @@ class BugReport:
             "mid_syscall": self.mid_syscall,
             "n_replayed": self.n_replayed,
             "paths": list(self.paths),
+            "provenance": (
+                self.provenance.to_dict() if self.provenance is not None else None
+            ),
         }
 
     @classmethod
@@ -94,6 +103,11 @@ class BugReport:
             mid_syscall=bool(data.get("mid_syscall", False)),
             n_replayed=int(data.get("n_replayed", 0)),
             paths=tuple(data.get("paths", ())),
+            provenance=(
+                CrashProvenance.from_dict(data["provenance"])
+                if data.get("provenance") is not None
+                else None
+            ),
         )
 
 

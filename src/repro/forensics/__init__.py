@@ -1,0 +1,33 @@
+"""Bug forensics: crash-state provenance, minimization, and timelines.
+
+The subsystem turns a confirmed checker failure into a diagnosis:
+
+* :mod:`repro.forensics.provenance` — store-level lineage
+  (:class:`CrashProvenance`) captured when a failing crash state is
+  materialized and attached to :class:`~repro.core.report.BugReport`;
+* :mod:`repro.forensics.replay` — offline rematerialization of a crash
+  state from its provenance (the engine behind ``python -m repro explain``);
+* :mod:`repro.forensics.minimize` — delta-debugging pass that shrinks the
+  dropped store set to a minimal culprit set reproducing the same outcome;
+* :mod:`repro.forensics.timeline` — fence-epoch ordering timelines (ASCII
+  and Chrome trace-event) and layout-annotated image diffs;
+* :mod:`repro.forensics.explain` — the ``repro explain`` driver.
+
+Only the dependency-light provenance layer is imported eagerly; the replay
+and explain layers import the harness and are loaded as submodules to keep
+``repro.core`` ↔ ``repro.forensics`` imports acyclic.
+"""
+
+from repro.forensics.provenance import (
+    CrashProvenance,
+    ProvEntry,
+    ProvenanceRecorder,
+    capture_provenance,
+)
+
+__all__ = [
+    "CrashProvenance",
+    "ProvEntry",
+    "ProvenanceRecorder",
+    "capture_provenance",
+]

@@ -1,0 +1,196 @@
+"""Store-set minimization by delta debugging.
+
+A failing crash state usually drops more in-flight writes than the bug
+needs: the replayer enumerates subsets bottom-up, so the *persisted* set is
+small but the *dropped* set — the complement — can contain stores that are
+irrelevant to the failure.  This pass runs classic ddmin (Zeller &
+Hildebrandt) over the dropped write units, re-replaying shrinking candidate
+sets through the real checker until no single chunk can be removed, and
+returns the minimal set of unpersisted stores that still trips the same
+checker outcome.
+
+Every candidate costs one mount + walk + compare, so the pass is bounded by
+a replay budget; when the budget runs out the best set found so far is
+returned, flagged ``budget_exhausted``.  All replays run under a PR-1
+telemetry span (``forensics.minimize``) with a ``forensics.replays``
+counter when a telemetry object is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.forensics.replay import ReplaySession, outcome_of
+
+#: Default maximum checker replays per minimization.
+DEFAULT_BUDGET = 128
+
+
+class BudgetExhausted(Exception):
+    """Internal signal: the replay budget ran out mid-pass."""
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of one store-set minimization."""
+
+    #: Consequence name the pass preserved.
+    target: str
+    #: Dropped unit indices of the original failing state.
+    original_dropped: Tuple[int, ...]
+    #: Minimal dropped unit set still reproducing the target consequence.
+    minimal_dropped: Tuple[int, ...]
+    #: Log sequence numbers of the write entries in the minimal set — the
+    #: culprit stores a timeline can highlight.
+    culprit_seqs: Tuple[int, ...]
+    #: Checker replays spent.
+    n_replays: int
+    #: True when the budget ran out before the pass converged; the result
+    #: is still 1-minimal only if False.
+    budget_exhausted: bool
+    #: False when the rebuilt original state did not reproduce the target
+    #: consequence (stale report or nondeterministic workload) — the
+    #: remaining fields are then meaningless.
+    reproduced: bool = True
+
+    @property
+    def removed(self) -> int:
+        return len(self.original_dropped) - len(self.minimal_dropped)
+
+    def describe(self) -> str:
+        if not self.reproduced:
+            return f"minimization failed: {self.target} did not reproduce"
+        note = " [budget exhausted]" if self.budget_exhausted else ""
+        return (
+            f"minimal culprit set: {len(self.minimal_dropped)} of "
+            f"{len(self.original_dropped)} dropped unit(s) suffice for "
+            f"{self.target} ({self.n_replays} replays{note})"
+        )
+
+
+def _split(items: List[int], n: int) -> List[List[int]]:
+    """Partition ``items`` into ``n`` contiguous, non-empty chunks."""
+    chunks: List[List[int]] = []
+    start = 0
+    for i in range(n):
+        end = start + (len(items) - start) // (n - i)
+        if end > start:
+            chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def ddmin(
+    items: Sequence[int],
+    test: Callable[[List[int]], bool],
+    budget: int = DEFAULT_BUDGET,
+) -> Tuple[List[int], int, bool]:
+    """Classic ddmin: a minimal sublist of ``items`` for which ``test`` holds.
+
+    ``test`` must hold for ``items`` itself.  Returns ``(minimal, n_tests,
+    budget_exhausted)``; with an exhausted budget the best set found so far
+    is returned (still failing, but possibly not 1-minimal).
+    """
+    spent = 0
+
+    def run(candidate: List[int]) -> bool:
+        nonlocal spent
+        if spent >= budget:
+            raise BudgetExhausted
+        spent += 1
+        return test(candidate)
+
+    current = list(items)
+    try:
+        if run([]):
+            # Persisting everything still fails: no dropped store is needed
+            # for the outcome (a synchrony/oracle-level divergence).
+            return [], spent, False
+        n = 2
+        while len(current) >= 2:
+            chunks = _split(current, n)
+            reduced = False
+            for chunk in chunks:
+                if run(chunk):
+                    current = chunk
+                    n = 2
+                    reduced = True
+                    break
+            if not reduced and n > 2:
+                for chunk in chunks:
+                    complement = [i for i in current if i not in set(chunk)]
+                    if run(complement):
+                        current = complement
+                        n = max(n - 1, 2)
+                        reduced = True
+                        break
+            if not reduced:
+                if n >= len(current):
+                    break
+                n = min(len(current), 2 * n)
+    except BudgetExhausted:
+        return current, spent, True
+    return current, spent, False
+
+
+def minimize_dropped_set(
+    session: ReplaySession,
+    target: str,
+    budget: int = DEFAULT_BUDGET,
+    telemetry=None,
+) -> MinimizationResult:
+    """Shrink the dropped unit set of a session's crash state.
+
+    ``target`` is the consequence name (e.g. ``"UNREADABLE"``) to preserve:
+    a candidate set of dropped units reproduces when the checker's verdict
+    for the corresponding state still contains it.
+    """
+    tel = telemetry if telemetry is not None and telemetry.enabled else None
+    all_units = list(range(len(session.region.units)))
+    dropped = list(session.dropped_units)
+
+    def test(candidate_dropped: List[int]) -> bool:
+        if tel is not None:
+            tel.count("forensics.replays")
+        persisted = [i for i in all_units if i not in set(candidate_dropped)]
+        return target in outcome_of(session.check_units(persisted))
+
+    def run() -> MinimizationResult:
+        if not test(dropped):
+            return MinimizationResult(
+                target=target,
+                original_dropped=tuple(dropped),
+                minimal_dropped=tuple(dropped),
+                culprit_seqs=(),
+                n_replays=1,
+                budget_exhausted=False,
+                reproduced=False,
+            )
+        minimal, spent, exhausted = ddmin(dropped, test, budget=budget)
+        seqs: List[int] = []
+        stores = [e for e in session.prov.entries
+                  if e.kind in ("store", "flush")]
+        # Map minimal units -> in-flight positions -> provenance seqs.  The
+        # crash region's in-flight stores are exactly the last
+        # ``len(inflight)`` store entries of the provenance.
+        region_stores = stores[len(stores) - len(session.region.inflight):]
+        for unit_index in minimal:
+            for pos in session.region.unit_positions[unit_index]:
+                seqs.append(region_stores[pos].seq)
+        return MinimizationResult(
+            target=target,
+            original_dropped=tuple(dropped),
+            minimal_dropped=tuple(minimal),
+            culprit_seqs=tuple(sorted(seqs)),
+            n_replays=spent + 1,
+            budget_exhausted=exhausted,
+        )
+
+    if tel is not None:
+        with tel.span("forensics.minimize", target=target,
+                      dropped=len(dropped), budget=budget):
+            result = run()
+        tel.count("forensics.minimizations")
+        return result
+    return run()

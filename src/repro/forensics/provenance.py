@@ -1,0 +1,330 @@
+"""Crash-state provenance: the store-level lineage behind a checker failure.
+
+A :class:`~repro.core.report.BugReport` used to say *what* diverged; this
+module records *why* — which persistence operations were in flight at the
+crash, which subset the replayer persisted, and which were dropped.  The
+lineage is captured from the recorded :class:`~repro.pm.log.PMLog` at the
+moment a checker failure is reported (never for clean states, so capture
+cost scales with bugs, not with crash states) and travels inside the report
+as a compact, JSON-serializable :class:`CrashProvenance`.
+
+The provenance also carries the full *reproduction context* — file system,
+workload and setup operations, bug configuration, and harness knobs — so
+``python -m repro explain`` can rebuild the exact crash state offline from
+a saved report, re-run the checker, and minimize the culprit store set
+(:mod:`repro.forensics.minimize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pm.log import Fence, Flush, NTStore, PMLog, SyscallBegin, SyscallEnd
+
+#: Entry statuses.  ``durable`` — fenced before the crash region;
+#: ``replayed`` — in flight at the crash and persisted in this state;
+#: ``dropped`` — in flight at the crash and lost in this state;
+#: ``fence`` / ``marker`` — ordering structure, not data.
+DURABLE = "durable"
+REPLAYED = "replayed"
+DROPPED = "dropped"
+FENCE = "fence"
+MARKER = "marker"
+
+
+@dataclass(frozen=True)
+class ProvEntry:
+    """One log entry of the crash lineage, tagged with its persistence fate."""
+
+    #: Position in ``PMLog.entries`` (stable across re-recordings).
+    seq: int
+    #: ``"store"`` | ``"flush"`` | ``"fence"`` | ``"syscall_begin"`` |
+    #: ``"syscall_end"``.
+    kind: str
+    status: str
+    #: Fence epoch the entry belongs to (fences close their own epoch).
+    epoch: int
+    #: Issuing persistence function — the probe site that recorded it.
+    func: str = ""
+    addr: int = -1
+    length: int = 0
+    syscall: Optional[int] = None
+    #: Marker text (syscall name and arguments) for begin/end entries.
+    label: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "status": self.status,
+            "epoch": self.epoch,
+            "func": self.func,
+            "addr": self.addr,
+            "length": self.length,
+            "syscall": self.syscall,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ProvEntry":
+        return cls(
+            seq=int(data["seq"]),
+            kind=str(data["kind"]),
+            status=str(data["status"]),
+            epoch=int(data["epoch"]),
+            func=str(data.get("func", "")),
+            addr=int(data.get("addr", -1)),
+            length=int(data.get("length", 0)),
+            syscall=data.get("syscall"),
+            label=str(data.get("label", "")),
+        )
+
+
+def _ops_to_tuples(ops: Sequence) -> Tuple[Tuple[str, Tuple], ...]:
+    return tuple((op.name, tuple(op.args)) for op in ops)
+
+
+def ops_from_tuples(packed: Sequence[Sequence]) -> List:
+    """Rebuild :class:`~repro.workloads.ops.Op` values from packed form."""
+    from repro.workloads.ops import Op  # deferred: keep this module light
+
+    return [Op(str(name), tuple(args)) for name, args in packed]
+
+
+@dataclass(frozen=True)
+class CrashProvenance:
+    """Full lineage of one failing crash state plus its repro context."""
+
+    fs_name: str
+    #: Crash-point identity (mirrors :class:`~repro.core.replayer.CrashState`).
+    fence_index: int
+    log_pos: int
+    mid_syscall: bool
+    syscall: Optional[int]
+    syscall_name: Optional[str]
+    after_syscall: int
+    state_kind: str  # "subset" | "post" | "final"
+    #: Positions (within the crash region's in-flight vector) persisted.
+    replayed_entries: Tuple[int, ...]
+    #: Every log entry up to the crash point, tagged.
+    entries: Tuple[ProvEntry, ...]
+    #: Reproduction context: the workload as (name, args) pairs.
+    workload: Tuple[Tuple[str, Tuple], ...] = ()
+    setup: Tuple[Tuple[str, Tuple], ...] = ()
+    bug_ids: Tuple[int, ...] = ()
+    cap: Optional[int] = 2
+    coalesce_threshold: int = 256
+    device_size: int = 256 * 1024
+    crash_points: str = "fence"
+    usability_check: bool = True
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def stores(self) -> List[ProvEntry]:
+        return [e for e in self.entries if e.kind in ("store", "flush")]
+
+    def dropped(self) -> List[ProvEntry]:
+        return [e for e in self.entries if e.status == DROPPED]
+
+    def counts(self) -> Dict[str, int]:
+        out = {DURABLE: 0, REPLAYED: 0, DROPPED: 0}
+        for entry in self.stores():
+            out[entry.status] += 1
+        return out
+
+    @property
+    def n_epochs(self) -> int:
+        return max((e.epoch for e in self.entries), default=-1) + 1
+
+    def crash_region(self) -> List[ProvEntry]:
+        """Entries of the fence epoch the crash happened in."""
+        return [e for e in self.entries if e.epoch == self.fence_index]
+
+    def where(self) -> str:
+        if self.mid_syscall:
+            return f"during syscall #{self.syscall} {self.syscall_name}"
+        return f"after syscall #{self.after_syscall}"
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fs_name": self.fs_name,
+            "fence_index": self.fence_index,
+            "log_pos": self.log_pos,
+            "mid_syscall": self.mid_syscall,
+            "syscall": self.syscall,
+            "syscall_name": self.syscall_name,
+            "after_syscall": self.after_syscall,
+            "state_kind": self.state_kind,
+            "replayed_entries": list(self.replayed_entries),
+            "entries": [e.to_dict() for e in self.entries],
+            "workload": [[name, list(args)] for name, args in self.workload],
+            "setup": [[name, list(args)] for name, args in self.setup],
+            "bug_ids": list(self.bug_ids),
+            "cap": self.cap,
+            "coalesce_threshold": self.coalesce_threshold,
+            "device_size": self.device_size,
+            "crash_points": self.crash_points,
+            "usability_check": self.usability_check,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CrashProvenance":
+        return cls(
+            fs_name=str(data["fs_name"]),
+            fence_index=int(data["fence_index"]),
+            log_pos=int(data["log_pos"]),
+            mid_syscall=bool(data["mid_syscall"]),
+            syscall=data.get("syscall"),
+            syscall_name=data.get("syscall_name"),
+            after_syscall=int(data["after_syscall"]),
+            state_kind=str(data.get("state_kind", "subset")),
+            replayed_entries=tuple(
+                int(i) for i in data.get("replayed_entries", ())
+            ),
+            entries=tuple(
+                ProvEntry.from_dict(e) for e in data.get("entries", ())
+            ),
+            workload=tuple(
+                (str(name), tuple(args)) for name, args in data.get("workload", ())
+            ),
+            setup=tuple(
+                (str(name), tuple(args)) for name, args in data.get("setup", ())
+            ),
+            bug_ids=tuple(int(b) for b in data.get("bug_ids", ())),
+            cap=data.get("cap"),
+            coalesce_threshold=int(data.get("coalesce_threshold", 256)),
+            device_size=int(data.get("device_size", 256 * 1024)),
+            crash_points=str(data.get("crash_points", "fence")),
+            usability_check=bool(data.get("usability_check", True)),
+        )
+
+
+def capture_provenance(
+    log: PMLog,
+    state,
+    *,
+    fs_name: str,
+    workload: Sequence = (),
+    setup: Sequence = (),
+    bug_ids: Sequence[int] = (),
+    cap: Optional[int] = 2,
+    coalesce_threshold: int = 256,
+    device_size: int = 256 * 1024,
+    crash_points: str = "fence",
+    usability_check: bool = True,
+) -> CrashProvenance:
+    """Tag every log entry up to the crash point of ``state``.
+
+    Stores before the crash region's opening fence are ``durable``; stores
+    inside the crash region are ``replayed`` or ``dropped`` according to the
+    state's ``replayed_entries`` positions; fences and syscall markers keep
+    their structural role.
+    """
+    prefix = log.entries[: state.log_pos]
+    last_fence = -1
+    for i, entry in enumerate(prefix):
+        if isinstance(entry, Fence):
+            last_fence = i
+    replayed = set(state.replayed_entries)
+    entries: List[ProvEntry] = []
+    epoch = 0
+    pos_in_region = 0
+    for seq, entry in enumerate(prefix):
+        if isinstance(entry, (NTStore, Flush)):
+            if seq < last_fence:
+                status = DURABLE
+            else:
+                status = REPLAYED if pos_in_region in replayed else DROPPED
+                pos_in_region += 1
+            entries.append(
+                ProvEntry(
+                    seq=seq,
+                    kind="store" if isinstance(entry, NTStore) else "flush",
+                    status=status,
+                    epoch=epoch,
+                    func=entry.func,
+                    addr=entry.addr,
+                    length=entry.length,
+                    syscall=entry.syscall,
+                )
+            )
+        elif isinstance(entry, Fence):
+            entries.append(
+                ProvEntry(
+                    seq=seq,
+                    kind="fence",
+                    status=FENCE,
+                    epoch=epoch,
+                    func=entry.func,
+                    syscall=entry.syscall,
+                )
+            )
+            epoch += 1
+        elif isinstance(entry, SyscallBegin):
+            entries.append(
+                ProvEntry(
+                    seq=seq,
+                    kind="syscall_begin",
+                    status=MARKER,
+                    epoch=epoch,
+                    syscall=entry.index,
+                    label=f"{entry.name}({entry.args})",
+                )
+            )
+        elif isinstance(entry, SyscallEnd):
+            entries.append(
+                ProvEntry(
+                    seq=seq,
+                    kind="syscall_end",
+                    status=MARKER,
+                    epoch=epoch,
+                    syscall=entry.index,
+                    label=entry.name,
+                )
+            )
+    return CrashProvenance(
+        fs_name=fs_name,
+        fence_index=state.fence_index,
+        log_pos=state.log_pos,
+        mid_syscall=state.mid_syscall,
+        syscall=state.syscall,
+        syscall_name=state.syscall_name,
+        after_syscall=state.after_syscall,
+        state_kind=getattr(state, "kind", "subset"),
+        replayed_entries=tuple(sorted(state.replayed_entries)),
+        entries=tuple(entries),
+        workload=_ops_to_tuples(workload),
+        setup=_ops_to_tuples(setup),
+        bug_ids=tuple(sorted(bug_ids)),
+        cap=cap,
+        coalesce_threshold=coalesce_threshold,
+        device_size=device_size,
+        crash_points=crash_points,
+        usability_check=usability_check,
+    )
+
+
+class ProvenanceRecorder:
+    """Per-workload provenance factory handed to the consistency checker.
+
+    Memoizes by crash-point identity: a crash state producing several
+    reports (e.g. unreadable + unusable) captures its lineage once.
+    """
+
+    def __init__(self, log: PMLog, **context) -> None:
+        self.log = log
+        self.context = context
+        self._cache: Dict[Tuple[int, Tuple[int, ...]], CrashProvenance] = {}
+
+    def for_state(self, state) -> CrashProvenance:
+        key = (state.log_pos, tuple(state.replayed_entries))
+        hit = self._cache.get(key)
+        if hit is None:
+            hit = capture_provenance(self.log, state, **self.context)
+            self._cache[key] = hit
+        return hit

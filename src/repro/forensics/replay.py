@@ -1,0 +1,225 @@
+"""Offline rematerialization of crash states from saved provenance.
+
+Recording is deterministic (the simulated file systems have no hidden
+entropy), so a :class:`~repro.forensics.provenance.CrashProvenance` is a
+complete recipe: rebuild the harness from the context fields, re-record the
+workload to recover the base image and write log, then replay any subset of
+the crash region's in-flight write units — including subsets the original
+enumeration never generated, which is what the minimizer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.checker import CheckerConfig, ConsistencyChecker
+from repro.core.harness import Chipmunk, ChipmunkConfig
+from repro.core.oracle import run_oracle
+from repro.core.replayer import CrashState, apply_entries, coalesce_units
+from repro.core.report import BugReport
+from repro.forensics.provenance import CrashProvenance, ops_from_tuples
+from repro.fs.bugs import BugConfig
+from repro.pm.log import Fence, Flush, NTStore, PMLog, WriteEntry
+from repro.workloads.ops import describe_workload
+
+
+def outcome_of(reports: Sequence[BugReport]) -> FrozenSet[str]:
+    """Checker outcome of one state: the set of consequence names."""
+    return frozenset(r.consequence.name for r in reports)
+
+
+@dataclass
+class CrashRegion:
+    """The crash fence region of a rebuilt log: base image + in-flight units."""
+
+    #: Persistent image with every pre-crash fence applied.
+    persistent: bytes
+    #: In-flight write entries of the crash region, in program order.
+    inflight: List[WriteEntry]
+    #: Coalesced replay units; ``units[i]`` covers ``unit_positions[i]``.
+    units: List[List[WriteEntry]]
+    #: In-flight vector positions covered by each unit.
+    unit_positions: List[Tuple[int, ...]]
+
+    def positions_of(self, unit_indices: Sequence[int]) -> Tuple[int, ...]:
+        out: List[int] = []
+        for i in unit_indices:
+            out.extend(self.unit_positions[i])
+        return tuple(sorted(out))
+
+    def units_of(self, positions: Sequence[int]) -> Tuple[int, ...]:
+        """Map in-flight positions back to the units covering them.
+
+        Raises ``ValueError`` when the positions split a unit — replay
+        always persists whole units.
+        """
+        wanted = set(positions)
+        chosen: List[int] = []
+        for i, covered in enumerate(self.unit_positions):
+            hit = wanted & set(covered)
+            if not hit:
+                continue
+            if hit != set(covered):
+                raise ValueError(
+                    f"positions {sorted(wanted)} split replay unit {i} "
+                    f"(covers {covered})"
+                )
+            chosen.append(i)
+        return tuple(chosen)
+
+
+def crash_region(prov: CrashProvenance, base: bytes, log: PMLog) -> CrashRegion:
+    """Walk the rebuilt log up to the crash point and split it into the
+    persistent base and the crash region's coalesced in-flight units."""
+    persistent = bytearray(base)
+    inflight: List[WriteEntry] = []
+    for entry in log.entries[: prov.log_pos]:
+        if isinstance(entry, Fence):
+            apply_entries(persistent, inflight)
+            inflight.clear()
+        elif isinstance(entry, (NTStore, Flush)):
+            inflight.append(entry)
+    units = coalesce_units(inflight, prov.coalesce_threshold)
+    positions: List[Tuple[int, ...]] = []
+    cursor = 0
+    for unit in units:
+        positions.append(tuple(range(cursor, cursor + len(unit))))
+        cursor += len(unit)
+    return CrashRegion(
+        persistent=bytes(persistent),
+        inflight=inflight,
+        units=units,
+        unit_positions=positions,
+    )
+
+
+def materialize_state(
+    prov: CrashProvenance,
+    region: CrashRegion,
+    unit_indices: Sequence[int],
+    kind: Optional[str] = None,
+) -> CrashState:
+    """Build the crash state persisting exactly ``unit_indices``.
+
+    With ``kind=None`` the state reproduces the provenance's original
+    crash-point flavor (so descriptions — and therefore report text —
+    match byte-for-byte); the minimizer passes explicit unit subsets and
+    keeps the original flavor's checker semantics via the copied
+    ``mid_syscall``/``after_syscall`` fields.
+    """
+    kind = kind if kind is not None else prov.state_kind
+    chosen: List[WriteEntry] = []
+    for i in sorted(unit_indices):
+        chosen.extend(region.units[i])
+    image = bytearray(region.persistent)
+    apply_entries(image, chosen)
+    if kind == "post":
+        desc: Tuple[str, ...] = (
+            ("<post-syscall; in-flight writes lost>",)
+            if region.inflight
+            else ("<post-syscall>",)
+        )
+    elif kind == "final":
+        desc = ("<final state>",)
+    else:
+        desc = tuple(e.describe() for e in chosen) or ("<none persisted>",)
+    return CrashState(
+        image=bytes(image),
+        fence_index=prov.fence_index,
+        syscall=prov.syscall,
+        syscall_name=prov.syscall_name,
+        mid_syscall=prov.mid_syscall,
+        after_syscall=prov.after_syscall,
+        subset_desc=desc,
+        n_replayed=len(unit_indices),
+        log_pos=prov.log_pos,
+        replayed_entries=region.positions_of(unit_indices),
+        kind=kind,
+    )
+
+
+@dataclass
+class ReplaySession:
+    """Everything needed to re-check crash states of one saved bug."""
+
+    prov: CrashProvenance
+    chipmunk: Chipmunk
+    base: bytes
+    log: PMLog
+    checker: ConsistencyChecker
+    region: CrashRegion
+    #: Unit indices the original crash state persisted.
+    original_units: Tuple[int, ...]
+
+    @property
+    def dropped_units(self) -> Tuple[int, ...]:
+        return tuple(
+            i for i in range(len(self.region.units))
+            if i not in set(self.original_units)
+        )
+
+    def check_units(self, unit_indices: Sequence[int]) -> List[BugReport]:
+        """Checker verdict for the state persisting ``unit_indices``."""
+        state = materialize_state(
+            self.prov,
+            self.region,
+            unit_indices,
+            kind=None if set(unit_indices) == set(self.original_units)
+            else "subset",
+        )
+        return self.checker.check(state)
+
+    def original_state(self) -> CrashState:
+        return materialize_state(self.prov, self.region, self.original_units)
+
+    def original_reports(self) -> List[BugReport]:
+        return self.checker.check(self.original_state())
+
+
+def rebuild_session(prov: CrashProvenance, telemetry=None) -> ReplaySession:
+    """Re-record the workload of a saved provenance and set up checking.
+
+    The rebuilt harness uses the same bug configuration, replay cap, and
+    coalescing threshold as the original campaign run, so the recovered
+    write log — and every derived crash state — is bit-identical.
+    """
+    bugs = BugConfig(frozenset(prov.bug_ids))
+    config = ChipmunkConfig(
+        device_size=prov.device_size,
+        cap=prov.cap,
+        coalesce_threshold=prov.coalesce_threshold,
+        usability_check=prov.usability_check,
+        crash_points=prov.crash_points,
+    )
+    chipmunk = Chipmunk(prov.fs_name, bugs=bugs, config=config,
+                        telemetry=telemetry)
+    workload = ops_from_tuples(prov.workload)
+    setup = ops_from_tuples(prov.setup)
+    base, log, _errnos = chipmunk.record(workload, setup=setup)
+    oracle = run_oracle(
+        chipmunk.fs_class, workload, config.device_size, bugs=bugs, setup=setup
+    )
+    checker = ConsistencyChecker(
+        chipmunk.fs_class,
+        oracle,
+        describe_workload(workload),
+        bugs=bugs,
+        config=CheckerConfig(usability_check=config.usability_check),
+    )
+    region = crash_region(prov, base, log)
+    if prov.log_pos > len(log.entries):
+        raise ValueError(
+            f"provenance crash point {prov.log_pos} beyond rebuilt log of "
+            f"{len(log.entries)} entries — recording is not reproducing"
+        )
+    original_units = region.units_of(prov.replayed_entries)
+    return ReplaySession(
+        prov=prov,
+        chipmunk=chipmunk,
+        base=base,
+        log=log,
+        checker=checker,
+        region=region,
+        original_units=original_units,
+    )

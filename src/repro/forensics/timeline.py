@@ -1,0 +1,251 @@
+"""Rendering a crash lineage: ASCII timelines, Chrome traces, image diffs.
+
+Three views of the same :class:`~repro.forensics.provenance.CrashProvenance`:
+
+* :func:`render_timeline` — a plain-text ordering timeline grouped by fence
+  epoch, with persisted/dropped fates per store and the minimizer's culprit
+  set highlighted.  Deterministic and byte-stable, so it can live in bug
+  reports and golden tests.
+* :func:`provenance_to_chrome` / :func:`write_chrome_trace` — the lineage as
+  a Chrome trace-event document (``chrome://tracing`` / Perfetto), reusing
+  the exporter in :mod:`repro.obs.tracing`.  Log sequence numbers stand in
+  for timestamps: what matters in a persistence trace is ordering, not
+  wall-clock duration.
+* :func:`render_image_diff` — contiguous byte ranges where the crashed
+  image diverges from a reference image, mapped through the file system's
+  :class:`~repro.fs.common.layout.LayoutMap` so a range reads as
+  ``inode_table[3]+0x40`` instead of a raw address.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fs.common.layout import LayoutMap
+from repro.forensics.provenance import (
+    DROPPED,
+    REPLAYED,
+    CrashProvenance,
+    ProvEntry,
+)
+from repro.obs.tracing import spans_to_chrome
+
+
+# ----------------------------------------------------------------------
+# ASCII ordering timeline
+# ----------------------------------------------------------------------
+def _annotate(entry: ProvEntry, layout: Optional[LayoutMap]) -> str:
+    if layout is None or entry.addr < 0:
+        return ""
+    return "  " + layout.locate_range(entry.addr, max(entry.length, 1))
+
+
+def _store_line(
+    entry: ProvEntry,
+    layout: Optional[LayoutMap],
+    culprits: frozenset,
+) -> str:
+    mark = " *" if entry.seq in culprits else "  "
+    status = entry.status.upper() if entry.status in (REPLAYED, DROPPED) else entry.status
+    return (
+        f"  seq {entry.seq:>4}{mark}{entry.kind:<6} {status:<9}"
+        f"{entry.func:<28} addr={entry.addr:#08x} len={entry.length:<5}"
+        f"{_annotate(entry, layout)}"
+    ).rstrip()
+
+
+def render_timeline(
+    prov: CrashProvenance,
+    layout: Optional[LayoutMap] = None,
+    culprit_seqs: Sequence[int] = (),
+) -> str:
+    """The lineage as a fence-epoch ordering timeline (plain text).
+
+    ``culprit_seqs`` — log sequence numbers from a
+    :class:`~repro.forensics.minimize.MinimizationResult` — are starred.
+    """
+    culprits = frozenset(culprit_seqs)
+    counts = prov.counts()
+    lines = [
+        f"ordering timeline: {prov.fs_name}, crash {prov.where()}",
+        (
+            f"stores: {counts[REPLAYED]} replayed, {counts[DROPPED]} dropped"
+            f" in flight, {counts['durable']} durable"
+            f" | fence epochs: {prov.n_epochs} | state: {prov.state_kind}"
+        ),
+    ]
+    current_epoch = -1
+    for entry in prov.entries:
+        if entry.epoch != current_epoch:
+            current_epoch = entry.epoch
+            crash = "   <<< crash region >>>" if current_epoch == prov.fence_index else ""
+            lines.append("")
+            lines.append(f"epoch {current_epoch}{crash}")
+        if entry.kind in ("store", "flush"):
+            lines.append(_store_line(entry, layout, culprits))
+        elif entry.kind == "fence":
+            lines.append(
+                f"  seq {entry.seq:>4}  ----- fence ----- {entry.func}"
+            )
+        elif entry.kind == "syscall_begin":
+            lines.append(f"  seq {entry.seq:>4}  > syscall #{entry.syscall} {entry.label}")
+        elif entry.kind == "syscall_end":
+            lines.append(f"  seq {entry.seq:>4}  < syscall #{entry.syscall} {entry.label} done")
+    lines.append("")
+    lines.append(f"===== crash point: log position {prov.log_pos} =====")
+    if culprits:
+        lines.append(
+            f"* = minimal culprit store set ({len(culprits)} unpersisted entr"
+            f"{'y' if len(culprits) == 1 else 'ies'} sufficient for the failure)"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+def provenance_to_chrome(
+    prov: CrashProvenance,
+    culprit_seqs: Sequence[int] = (),
+) -> Dict[str, object]:
+    """The lineage as a Chrome trace-event document.
+
+    Log sequence numbers are used as timestamps (one unit per entry):
+    syscalls become enclosing spans, stores/flushes unit-width spans tagged
+    with their persistence fate, and fences instant events.
+    """
+    culprits = frozenset(culprit_seqs)
+    records: List[Dict[str, object]] = []
+    begins: Dict[int, ProvEntry] = {}
+    for entry in prov.entries:
+        if entry.kind == "syscall_begin" and entry.syscall is not None:
+            begins[entry.syscall] = entry
+        elif entry.kind == "syscall_end" and entry.syscall is not None:
+            begin = begins.pop(entry.syscall, None)
+            if begin is not None:
+                records.append({
+                    "type": "span",
+                    "name": f"syscall #{entry.syscall} {begin.label}",
+                    "ts": float(begin.seq),
+                    "dur": float(entry.seq - begin.seq),
+                })
+        elif entry.kind in ("store", "flush"):
+            attrs: Dict[str, object] = {
+                "status": entry.status,
+                "epoch": entry.epoch,
+                "addr": f"{entry.addr:#x}",
+                "length": entry.length,
+                "seq": entry.seq,
+            }
+            if entry.seq in culprits:
+                attrs["culprit"] = True
+            records.append({
+                "type": "span",
+                "name": f"{entry.kind}:{entry.status} {entry.func}",
+                "ts": float(entry.seq),
+                "dur": 1.0,
+                "attrs": attrs,
+            })
+        elif entry.kind == "fence":
+            records.append({
+                "type": "event",
+                "name": f"fence (epoch {entry.epoch} ends)",
+                "ts": float(entry.seq),
+                "fields": {"func": entry.func, "seq": entry.seq},
+            })
+    # A syscall interrupted by the crash never saw its end marker: close it
+    # at the crash point so the span is visible in the trace.
+    for index, begin in begins.items():
+        records.append({
+            "type": "span",
+            "name": f"syscall #{index} {begin.label} [interrupted]",
+            "ts": float(begin.seq),
+            "dur": float(prov.log_pos - begin.seq),
+        })
+    records.append({
+        "type": "event",
+        "name": "CRASH",
+        "ts": float(prov.log_pos),
+        "fields": {"state_kind": prov.state_kind, "where": prov.where()},
+    })
+    return spans_to_chrome(records)
+
+
+def write_chrome_trace(
+    prov: CrashProvenance,
+    path: str,
+    culprit_seqs: Sequence[int] = (),
+) -> int:
+    """Write the lineage as a Chrome trace file; returns the event count."""
+    doc = provenance_to_chrome(prov, culprit_seqs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# Annotated image diff
+# ----------------------------------------------------------------------
+def diff_ranges(a: bytes, b: bytes) -> List[Tuple[int, int]]:
+    """Contiguous ``(offset, length)`` ranges where ``a`` and ``b`` differ.
+
+    A length difference counts as a trailing differing range.
+    """
+    n = min(len(a), len(b))
+    out: List[Tuple[int, int]] = []
+    start = -1
+    for i in range(n):
+        if a[i] != b[i]:
+            if start < 0:
+                start = i
+        elif start >= 0:
+            out.append((start, i - start))
+            start = -1
+    if start >= 0:
+        out.append((start, n - start))
+    if len(a) != len(b):
+        out.append((n, max(len(a), len(b)) - n))
+    return out
+
+
+def _preview(data: bytes, offset: int, length: int, cap: int = 16) -> str:
+    chunk = data[offset : offset + min(length, cap)]
+    suffix = ".." if length > cap else ""
+    return chunk.hex() + suffix if chunk else "<absent>"
+
+
+def render_image_diff(
+    crashed: bytes,
+    reference: bytes,
+    layout: Optional[LayoutMap] = None,
+    label: str = "reference image",
+    max_ranges: int = 16,
+) -> str:
+    """Byte-range diff of a crashed image against a reference image.
+
+    Each differing range is annotated through ``layout`` so it names the
+    on-PM structure it falls in.  The listing is capped at ``max_ranges``
+    ranges (a note reports how many were elided).
+    """
+    ranges = diff_ranges(crashed, reference)
+    total = sum(length for _, length in ranges)
+    lines = [
+        f"image diff vs {label}: {len(ranges)} range(s), {total} byte(s) differ"
+    ]
+    if not ranges:
+        return lines[0]
+    for offset, length in ranges[:max_ranges]:
+        where = (
+            layout.locate_range(offset, length)
+            if layout is not None
+            else f"{offset:#x}"
+        )
+        lines.append(
+            f"  {where} ({offset:#x}, {length} bytes): "
+            f"{_preview(crashed, offset, length)} -> "
+            f"{_preview(reference, offset, length)}"
+        )
+    if len(ranges) > max_ranges:
+        lines.append(f"  ... {len(ranges) - max_ranges} more range(s) elided")
+    return "\n".join(lines)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
+from typing import Tuple
 
 
 def u16(value: int) -> bytes:
@@ -89,3 +90,55 @@ class Region:
 
     def slot_count(self, slot_size: int) -> int:
         return self.size // slot_size
+
+
+@dataclass(frozen=True)
+class NamedRegion:
+    """A layout region with a human-readable name (forensics annotation).
+
+    ``slot_size`` > 0 marks a slotted region (inode table, log pages):
+    addresses inside it annotate as ``name[slot]+offset``.
+    """
+
+    name: str
+    region: Region
+    slot_size: int = 0
+
+
+@dataclass(frozen=True)
+class LayoutMap:
+    """Named-region map of a device image.
+
+    Built by each file system's ``layout_map`` classmethod; the forensics
+    layer uses it to translate raw byte addresses in timelines and image
+    diffs into layout terms a developer recognizes (``inode_table[3]+0x40``
+    instead of ``0x5c0``).
+    """
+
+    regions: Tuple["NamedRegion", ...]
+
+    def locate(self, addr: int) -> str:
+        """Annotate one byte address with its region (and slot, if any)."""
+        for named in self.regions:
+            if named.region.contains(addr):
+                rel = addr - named.region.offset
+                if named.slot_size > 0:
+                    slot, off = divmod(rel, named.slot_size)
+                    return f"{named.name}[{slot}]+{off:#x}"
+                return f"{named.name}+{rel:#x}"
+        return f"<unmapped>+{addr:#x}"
+
+    def locate_range(self, addr: int, length: int) -> str:
+        """Annotate a byte range; spans crossing regions name both ends."""
+        start = self.locate(addr)
+        if length <= 1:
+            return start
+        end = self.locate(addr + length - 1)
+        if start == end:
+            return start
+        return f"{start}..{end}"
+
+
+def single_region_map(size: int, name: str = "device") -> LayoutMap:
+    """The fallback layout: one anonymous region covering the image."""
+    return LayoutMap((NamedRegion(name, Region(0, size)),))

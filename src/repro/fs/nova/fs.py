@@ -143,6 +143,29 @@ class NovaFS(FileSystem):
         return fs
 
     @classmethod
+    def layout_map(cls, image: bytes):
+        from repro.fs.common.layout import (
+            LayoutMap,
+            NamedRegion,
+            Region,
+            single_region_map,
+        )
+
+        try:
+            geom = cls._coerce_geometry(L.unpack_superblock(bytes(image[:64])))
+        except Exception:  # torn superblock on a crash image
+            return single_region_map(len(image))
+        data_start = geom.first_data_block * geom.block_size
+        return LayoutMap((
+            NamedRegion("superblock", geom.superblock),
+            NamedRegion("journal", geom.journal),
+            NamedRegion("inode_table", geom.inode_table,
+                        slot_size=L.INODE_SLOT_SIZE),
+            NamedRegion("data", Region(data_start, geom.device_size - data_start),
+                        slot_size=geom.block_size),
+        ))
+
+    @classmethod
     def _coerce_geometry(cls, geom: L.NovaGeometry) -> L.NovaGeometry:
         """Convert an unpacked superblock geometry to this class's type."""
         if type(geom) is cls.geometry_class:

@@ -137,6 +137,36 @@ class PmfsFS(FileSystem):
         fs._recover()
         return fs
 
+    @classmethod
+    def layout_map(cls, image: bytes):
+        from repro.fs.common.layout import (
+            LayoutMap,
+            NamedRegion,
+            Region,
+            single_region_map,
+        )
+
+        try:
+            geom = L.unpack_superblock(bytes(image[:64]))
+        except Exception:  # torn superblock on a crash image
+            return single_region_map(len(image))
+        journal = Region(
+            geom.journal_area(0).offset,
+            geom.n_cpus * geom.journal_blocks * geom.block_size,
+        )
+        data_start = geom.first_data_block * geom.block_size
+        return LayoutMap((
+            NamedRegion("superblock", geom.superblock),
+            NamedRegion("journal", journal,
+                        slot_size=geom.journal_blocks * geom.block_size),
+            NamedRegion("truncate_list", geom.truncate_list),
+            NamedRegion("inode_table", geom.inode_table,
+                        slot_size=L.INODE_SLOT_SIZE),
+            NamedRegion("bitmap", geom.bitmap),
+            NamedRegion("data", Region(data_start, geom.device_size - data_start),
+                        slot_size=geom.block_size),
+        ))
+
     def _format(self) -> None:
         geom = self.geom
         meta_end = geom.first_data_block * geom.block_size

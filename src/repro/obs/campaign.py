@@ -213,6 +213,46 @@ class CampaignStats:
         })
 
     # ------------------------------------------------------------------
+    # Machine-readable export (``python -m repro stats --json``)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """The aggregates as one JSON-serializable document.
+
+        Keys mirror the :meth:`render` tables so dashboards and scripts
+        consume the same quantities the text summary shows.
+        """
+        return {
+            "fs": self.fs_name,
+            "generator": self.generator,
+            "meta": {k: v for k, v in self.meta.items()
+                     if k not in ("fs", "generator")},
+            "workloads": self.n_workloads,
+            "truncated_workloads": self.n_truncated,
+            "crash_states": self.n_crash_states,
+            "unique_states": self.n_unique_states,
+            "dedup_hit_rate": self.dedup_hit_rate,
+            "fences": self.n_fences,
+            "reports": self.n_reports,
+            "wall_time": self.wall_time,
+            "states_per_second": self.states_per_second,
+            "stage_totals": dict(self.stage_totals),
+            "outcome_counts": dict(self.outcome_counts),
+            "time_to_bug": [
+                {
+                    "cluster": e.cluster,
+                    "workload": e.workload,
+                    "t": e.t,
+                    "consequence": e.consequence,
+                }
+                for e in self.time_to_bug
+            ],
+            "inflight": {
+                fs: {syscall: list(counts) for syscall, counts in per.items()}
+                for fs, per in self.inflight.items()
+            },
+        }
+
+    # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
     def render(self) -> str:

@@ -70,6 +70,20 @@ class FileSystem(abc.ABC):
         Raises :class:`MountError` when the image cannot be recovered.
         """
 
+    @classmethod
+    def layout_map(cls, image: bytes):
+        """Named-region map of ``image`` for forensic annotation.
+
+        File systems with a parseable on-PM geometry override this so
+        timelines and image diffs can say ``inode_table[3]+0x40`` instead
+        of a raw byte address; the default is a single anonymous region.
+        Implementations must tolerate corrupt images (a crash state's
+        superblock may be torn) and fall back to this default.
+        """
+        from repro.fs.common.layout import single_region_map
+
+        return single_region_map(len(image))
+
     # ------------------------------------------------------------------
     # Core operations (paper section 4.1)
     # ------------------------------------------------------------------

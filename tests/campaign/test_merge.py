@@ -98,3 +98,37 @@ class TestMergeEqualsSerial:
         by_id = {items[0].item_id: [results[0].to_dict()]}
         merged = merge_results(spec, items, by_id)
         assert merged.workloads_tested == 1
+
+
+class TestProvenanceThroughMerge:
+    def test_provenance_survives_worker_serialization_byte_identically(self):
+        # The campaign path is result -> to_dict -> JSON (worker result
+        # file / journal) -> from_dict -> merge.  The provenance a merged
+        # report carries must be byte-identical to the serial run's.
+        import json
+
+        spec = CampaignSpec(fs="nova", seq=2, max_workloads=12)
+        results = serial_results(spec, 12)
+        serial_provs = [
+            json.dumps(r.provenance.to_dict(), sort_keys=True)
+            for result in results for r in result.reports
+        ]
+        assert serial_provs, "expected buggy workloads in the sample"
+
+        items = build_items(spec)
+        by_id = {
+            items[i].item_id: [
+                json.loads(json.dumps(results[i].to_dict()))
+            ]
+            for i in range(len(results))
+        }
+        merged = merge_results(spec, items, by_id)
+        merged_provs = []
+        for cluster in merged.clusters:
+            for report in cluster.members:
+                merged_provs.append(
+                    json.dumps(report.provenance.to_dict(), sort_keys=True)
+                )
+        assert sorted(merged_provs) == sorted(serial_provs)
+        for cluster in merged.clusters:
+            assert cluster.exemplar.provenance is not None

@@ -1,5 +1,10 @@
 """BugReport and tree diffing."""
 
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.core.report import BugReport, Consequence, DiffEntry, diff_trees
 from repro.vfs.interface import FileObservation
 from repro.vfs.types import FileType, Stat
@@ -91,3 +96,67 @@ class TestBugReport:
 
     def test_all_consequences_have_text(self):
         assert all(isinstance(c.value, str) and c.value for c in Consequence)
+
+
+def json_roundtrip(report: BugReport) -> BugReport:
+    """The exact path a report travels: worker -> JSON -> merge."""
+    return BugReport.from_dict(json.loads(json.dumps(report.to_dict())))
+
+
+class TestRoundTrip:
+    """``from_dict(to_dict(r))`` must be field-equal — a dropped field here
+    silently corrupts campaign journals and worker result files."""
+
+    @given(
+        fs_name=st.sampled_from(["nova", "pmfs", "ext4-dax"]),
+        consequence=st.sampled_from(sorted(Consequence, key=lambda c: c.name)),
+        workload_desc=st.text(max_size=60),
+        crash_desc=st.text(max_size=60),
+        detail=st.text(max_size=120),
+        syscall=st.none() | st.integers(0, 40),
+        syscall_name=st.none() | st.sampled_from(["creat", "rename", "write"]),
+        mid_syscall=st.booleans(),
+        n_replayed=st.integers(0, 8),
+        paths=st.lists(st.text(min_size=1, max_size=20), max_size=4)
+        .map(tuple),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_reports_roundtrip(self, **fields):
+        report = BugReport(**fields)
+        assert json_roundtrip(report) == report
+
+    def test_engine_emitted_reports_roundtrip_field_equal(self):
+        # Every report the real pipeline emits — provenance included —
+        # must survive the JSON round-trip exactly.
+        import dataclasses
+
+        from repro.core.harness import Chipmunk
+        from repro.workloads.ops import Op
+
+        result = Chipmunk("nova").test_workload(
+            [Op("creat", ("/foo",)), Op("creat", ("/foo",))]
+        )
+        assert result.reports
+        for report in result.reports:
+            rebuilt = json_roundtrip(report)
+            for f in dataclasses.fields(BugReport):
+                assert getattr(rebuilt, f.name) == getattr(report, f.name), f.name
+
+    def test_provenance_none_roundtrips(self):
+        report = BugReport(
+            fs_name="nova", consequence=Consequence.SYNCHRONY,
+            workload_desc="w", crash_desc="c", detail="d",
+        )
+        data = report.to_dict()
+        assert data["provenance"] is None
+        assert json_roundtrip(report) == report
+
+    def test_legacy_dict_without_provenance_key_loads(self):
+        # Reports journaled by older campaigns predate the provenance
+        # field; they must still deserialize.
+        data = {
+            "fs_name": "nova", "consequence": "ATOMICITY",
+            "workload_desc": "w", "crash_desc": "c", "detail": "d",
+        }
+        report = BugReport.from_dict(data)
+        assert report.provenance is None

@@ -1,0 +1,106 @@
+"""``repro explain`` end-to-end: saved report -> timeline with culprits."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.harness import Chipmunk
+from repro.core.report import BugReport
+from repro.forensics.explain import explain_report, load_report_dicts
+from repro.workloads import ace
+
+
+@pytest.fixture(scope="module")
+def saved_nova_seq2_report(tmp_path_factory):
+    """A NOVA seq-2 bug report with a non-trivial culprit set, saved as
+    ``repro test --save-reports`` would write it."""
+    w = ace.workload_at(2, 9)  # creat('/foo'); write('/bar', 0, 66, 1024)
+    result = Chipmunk("nova").test_workload(w.core, setup=w.setup)
+    report = next(
+        r for r in result.reports
+        if r.consequence.name == "UNMOUNTABLE" and len(r.provenance.dropped()) >= 2
+    )
+    path = tmp_path_factory.mktemp("reports") / "bugs.json"
+    path.write_text(json.dumps({"reports": [report.to_dict()]}))
+    return str(path)
+
+
+class TestLoadReportDicts:
+    def test_reports_document(self, tmp_path):
+        p = tmp_path / "r.json"
+        p.write_text('{"reports": [{"a": 1}, {"a": 2}]}')
+        assert len(load_report_dicts(str(p))) == 2
+
+    def test_bare_list_and_single_object(self, tmp_path):
+        p = tmp_path / "r.json"
+        p.write_text('[{"a": 1}]')
+        assert len(load_report_dicts(str(p))) == 1
+        p.write_text('{"fs_name": "nova"}')
+        assert len(load_report_dicts(str(p))) == 1
+
+    def test_rejects_scalars(self, tmp_path):
+        p = tmp_path / "r.json"
+        p.write_text('42')
+        with pytest.raises(ValueError):
+            load_report_dicts(str(p))
+
+
+class TestExplainEndToEnd:
+    def test_cli_prints_timeline_with_culprits(self, saved_nova_seq2_report,
+                                               capsys, tmp_path):
+        chrome = tmp_path / "bug.trace.json"
+        code = main([
+            "explain", saved_nova_seq2_report,
+            "--minimize", "--chrome", str(chrome),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # The fence-epoch ordering timeline...
+        assert "ordering timeline: nova" in out
+        assert "<<< crash region >>>" in out
+        assert "epoch" in out
+        # ...with the minimal culprit store set highlighted.
+        assert "minimal culprit set: 1 of 2 dropped unit(s)" in out
+        assert "* = minimal culprit store set" in out
+        # Offline replay confirmed the saved consequence.
+        assert "offline replay reproduces UNMOUNTABLE" in out
+        # Layout-annotated image diff against the fully-persisted image.
+        assert "image diff vs image with all in-flight stores persisted" in out
+        # The Chrome trace landed on disk and parses.
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+
+    def test_api_reports_minimization(self, saved_nova_seq2_report):
+        report = BugReport.from_dict(
+            load_report_dicts(saved_nova_seq2_report)[0]
+        )
+        explanation = explain_report(report, minimize=True)
+        assert explanation.reproduced
+        m = explanation.minimization
+        assert m is not None and m.reproduced
+        assert set(m.minimal_dropped) < set(m.original_dropped)
+
+    def test_without_minimize_no_stars(self, saved_nova_seq2_report, capsys):
+        assert main(["explain", saved_nova_seq2_report]) == 0
+        out = capsys.readouterr().out
+        assert "ordering timeline" in out
+        assert "* = minimal culprit store set" not in out
+
+    def test_index_out_of_range(self, saved_nova_seq2_report, capsys):
+        assert main(["explain", saved_nova_seq2_report, "--index", "5"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["explain", "/nonexistent/bugs.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_report_without_provenance_rejected(self, tmp_path, capsys):
+        report = BugReport.from_dict({
+            "fs_name": "nova", "consequence": "ATOMICITY",
+            "workload_desc": "w", "crash_desc": "c", "detail": "d",
+        })
+        p = tmp_path / "bare.json"
+        p.write_text(json.dumps(report.to_dict()))
+        assert main(["explain", str(p)]) == 2
+        assert "no provenance" in capsys.readouterr().err

@@ -1,0 +1,125 @@
+"""Store-set minimization: ddmin properties and end-to-end replay."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.harness import Chipmunk
+from repro.forensics.minimize import DEFAULT_BUDGET, ddmin, minimize_dropped_set
+from repro.forensics.replay import outcome_of, rebuild_session
+from repro.workloads import ace
+
+#: ACE seq-2 workload 9 on NOVA: ``creat('/foo'); write('/bar', ...)``.
+#: Its UNMOUNTABLE crash states drop two write units of which exactly one
+#: is the culprit — a non-trivial reduction.
+NOVA_ACE_INDEX = 9
+
+
+def nova_unmountable_report():
+    w = ace.workload_at(2, NOVA_ACE_INDEX)
+    result = Chipmunk("nova").test_workload(w.core, setup=w.setup)
+    for report in result.reports:
+        if (report.consequence.name == "UNMOUNTABLE"
+                and len(report.provenance.dropped()) >= 2):
+            return report
+    pytest.fail("expected an UNMOUNTABLE report with >= 2 dropped stores")
+
+
+class TestDdmin:
+    def test_single_culprit_found(self):
+        minimal, n, exhausted = ddmin(list(range(8)), lambda c: 3 in c)
+        assert minimal == [3]
+        assert not exhausted
+
+    def test_pair_of_culprits(self):
+        minimal, _, _ = ddmin(list(range(10)), lambda c: 2 in c and 7 in c)
+        assert sorted(minimal) == [2, 7]
+
+    def test_empty_when_predicate_holds_vacuously(self):
+        minimal, n, _ = ddmin([1, 2, 3], lambda c: True)
+        assert minimal == []
+        assert n == 1
+
+    def test_budget_returns_best_so_far(self):
+        minimal, n, exhausted = ddmin(
+            list(range(64)), lambda c: 5 in c, budget=3
+        )
+        assert exhausted
+        assert n == 3
+        assert 5 in minimal  # still a failing set, just not 1-minimal
+
+    @given(
+        n=st.integers(2, 24),
+        culprits=st.sets(st.integers(0, 23), min_size=1, max_size=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_result_is_failing_subset(self, n, culprits):
+        items = list(range(n))
+        culprits = {c for c in culprits if c < n} or {0}
+
+        def test_fn(candidate):
+            return culprits <= set(candidate)
+
+        minimal, _, exhausted = ddmin(items, test_fn, budget=DEFAULT_BUDGET * 4)
+        assert set(minimal) <= set(items)
+        assert test_fn(minimal)  # the returned set still fails
+        if not exhausted:
+            assert set(minimal) == culprits  # monotone predicate: exact
+
+
+class TestMinimizeDroppedSet:
+    @pytest.fixture(scope="class")
+    def session_and_report(self):
+        report = nova_unmountable_report()
+        return rebuild_session(report.provenance), report
+
+    def test_minimal_subset_of_original(self, session_and_report):
+        session, report = session_and_report
+        result = minimize_dropped_set(session, report.consequence.name)
+        assert result.reproduced
+        assert set(result.minimal_dropped) <= set(result.original_dropped)
+
+    def test_reduction_is_nontrivial_and_reproduces(self, session_and_report):
+        session, report = session_and_report
+        target = report.consequence.name
+        result = minimize_dropped_set(session, target)
+        assert 0 < len(result.minimal_dropped) < len(result.original_dropped)
+        assert result.culprit_seqs
+        # Re-replay the minimized state: dropping only the minimal set
+        # (persisting everything else) must trip the same checker outcome.
+        persisted = [
+            i for i in range(len(session.region.units))
+            if i not in set(result.minimal_dropped)
+        ]
+        assert target in outcome_of(session.check_units(persisted))
+
+    def test_culprit_seqs_are_dropped_stores(self, session_and_report):
+        session, report = session_and_report
+        result = minimize_dropped_set(session, report.consequence.name)
+        region_seqs = {
+            e.seq for e in report.provenance.crash_region()
+            if e.kind in ("store", "flush")
+        }
+        assert set(result.culprit_seqs) <= region_seqs
+
+    def test_budget_exhaustion_flagged(self, session_and_report):
+        session, report = session_and_report
+        result = minimize_dropped_set(session, report.consequence.name, budget=1)
+        assert result.budget_exhausted
+        assert result.reproduced
+
+    def test_missing_flush_bug_yields_empty_culprit_set(self):
+        # NOVA bug 2 never issues the inode flush at all: no dropped store
+        # explains the failure, so the minimal set is empty — itself a
+        # diagnosis (the persist is absent from the log).
+        from repro.workloads.ops import Op
+
+        result = Chipmunk("nova").test_workload(
+            [Op("creat", ("/foo",)), Op("creat", ("/foo",))]
+        )
+        report = next(r for r in result.reports if r.provenance.dropped())
+        session = rebuild_session(report.provenance)
+        m = minimize_dropped_set(session, report.consequence.name)
+        assert m.reproduced
+        assert m.minimal_dropped == ()
+        assert "0 of" in m.describe()

@@ -149,6 +149,36 @@ class TestTelemetryCLI:
         assert "[stats] merged 2 trace files" in out
         assert "Per-stage timings" in out
 
+    def test_stats_json_output(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        main(["ace", "--fs", "nova", "--max-workloads", "8", "--trace", trace])
+        capsys.readouterr()
+        assert main(["stats", trace, "--json"]) == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["fs"] == "nova"
+        assert doc["generator"] == "ace"
+        assert doc["workloads"] == 8
+        assert doc["crash_states"] > 0
+        assert set(doc["stage_totals"]) >= {"record", "check"}
+        assert doc["outcome_counts"]  # NOVA's bug set reproduces in 8 workloads
+        assert all(
+            set(e) == {"cluster", "workload", "t", "consequence"}
+            for e in doc["time_to_bug"]
+        )
+
+    def test_save_reports_then_explain(self, tmp_path, capsys):
+        reports = str(tmp_path / "bugs.json")
+        code = main(["test", "nova", "--op", "creat /foo", "--op", "creat /foo",
+                     "--save-reports", reports])
+        assert code == 1
+        assert "saved" in capsys.readouterr().out
+        assert main(["explain", reports]) == 0
+        out = capsys.readouterr().out
+        assert "ordering timeline: nova" in out
+        assert "<<< crash region >>>" in out
+
     def test_stats_chrome_rejects_multiple_traces(self, tmp_path, capsys):
         first = str(tmp_path / "a.jsonl")
         second = str(tmp_path / "b.jsonl")
