@@ -57,6 +57,7 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -363,6 +364,15 @@ def cmd_explain(args) -> int:
     from repro.core.report import BugReport
     from repro.forensics.explain import explain_report, load_report_dicts
 
+    if args.all:
+        return _cmd_explain_all(args)
+    if os.path.isdir(args.report):
+        print(
+            f"error: {args.report!r} is a directory — pass --all for batch "
+            "forensics, or point at a report JSON file",
+            file=sys.stderr,
+        )
+        return 2
     try:
         dicts = load_report_dicts(args.report)
     except OSError as exc:
@@ -391,12 +401,60 @@ def cmd_explain(args) -> int:
             minimize=args.minimize,
             budget=args.budget,
             chrome_out=args.chrome,
+            minimize_ops=args.minimize_workload,
+            workload_budget=args.workload_budget,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(explanation.text)
     return 0 if explanation.reproduced else 3
+
+
+def _cmd_explain_all(args) -> int:
+    """Batch forensics over a campaign directory (or report file)."""
+    from repro.forensics.batch import FORENSICS_BASENAME, explain_campaign
+
+    target = args.report
+    if os.path.isdir(target) and not os.path.exists(
+        os.path.join(target, "bugs.json")
+    ):
+        print(f"error: no bugs.json in {target!r} (not a campaign directory?)",
+              file=sys.stderr)
+        return 2
+    try:
+        batch = explain_campaign(
+            target,
+            minimize=args.minimize,
+            budget=args.budget,
+            minimize_ops=args.minimize_workload,
+            workload_budget=args.workload_budget,
+            out=args.out,
+        )
+    except OSError as exc:
+        print(f"error: cannot read {target!r}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, ValueError) as exc:
+        print(f"error: not a bug-report document: {exc}", file=sys.stderr)
+        return 2
+    out_path = args.out or os.path.join(
+        target if os.path.isdir(target) else (os.path.dirname(target) or "."),
+        FORENSICS_BASENAME,
+    )
+    stats = batch.cache.stats()
+    print(
+        f"[explain] {len(batch.explanations)} report(s) explained, "
+        f"{batch.reproduced} reproduced, {len(batch.clusters)} cluster(s); "
+        f"{stats['recordings']} recording(s) "
+        f"({stats['session_hits']} session cache hit(s)), "
+        f"{stats['verdict_hits']} verdict cache hit(s)"
+    )
+    if batch.skipped:
+        print(f"[explain] skipped {len(batch.skipped)} report(s) without "
+              f"provenance")
+    print(f"wrote {out_path}")
+    return 0 if all(e.reproduced for e in batch.explanations) else 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -561,11 +619,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument(
         "report", metavar="REPORT",
         help="report JSON: `--save-reports` output, a campaign's bugs.json, "
-        "or a single serialized report",
+        "or a single serialized report; with --all, a campaign directory",
     )
     p_explain.add_argument(
         "--index", type=int, default=0,
         help="which report to explain when the file holds several (default 0)",
+    )
+    p_explain.add_argument(
+        "--all", action="store_true",
+        help="batch mode: explain every report in a campaign's bugs.json "
+        "through a shared minimization cache and write forensics.md next "
+        "to report.md",
     )
     p_explain.add_argument(
         "--minimize", action="store_true",
@@ -574,6 +638,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument(
         "--budget", type=int, default=128,
         help="maximum checker replays for --minimize (default 128)",
+    )
+    p_explain.add_argument(
+        "--minimize-workload", action="store_true",
+        help="also delta-debug the op sequence down to the essential ops "
+        "(each candidate is a full harness run)",
+    )
+    p_explain.add_argument(
+        "--workload-budget", type=int, default=24,
+        help="maximum harness runs for --minimize-workload (default 24)",
+    )
+    p_explain.add_argument(
+        "--out", metavar="PATH",
+        help="with --all: write forensics.md to PATH instead of the "
+        "campaign directory",
     )
     p_explain.add_argument(
         "--chrome", metavar="OUT",

@@ -26,7 +26,12 @@ class CampaignSummary:
     unique_states: int = 0
     wall_time: float = 0.0
     truncated_workloads: int = 0
-    triage: Triage = field(default_factory=Triage)
+    #: Provenance-guided triage by default: reports carrying a culprit site
+    #: set cluster by (fs, consequence, sites) — one bug seen through
+    #: different syscalls merges — and the rest fall back to the lexical
+    #: procedure.  Campaigns run with forensics disabled therefore behave
+    #: exactly as before.
+    triage: Triage = field(default_factory=lambda: Triage(provenance=True))
     #: workload index at which each cluster was first seen
     first_seen: Dict[int, int] = field(default_factory=dict)
     #: per-stage wall time summed over workloads (telemetry satellite data)
@@ -223,6 +228,11 @@ def render_markdown(
         lines.append(f"*{cluster.count} report(s) in this cluster; first seen at "
                      f"workload #{summary.first_seen.get(index - 1, '?')}.*")
         lines.append("")
+        if cluster.prov_key is not None and cluster.sites:
+            lines.append(
+                f"*Clustered by culprit sites: {cluster.describe_sites()}.*"
+            )
+            lines.append("")
         lines.append("**Reproduction workload**")
         lines.append("")
         lines.append("```")

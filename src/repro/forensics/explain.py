@@ -16,10 +16,14 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional
 
 from repro.core.report import BugReport
+from repro.forensics.cache import ForensicsCache
 from repro.forensics.minimize import (
     DEFAULT_BUDGET,
+    DEFAULT_WORKLOAD_BUDGET,
     MinimizationResult,
+    WorkloadMinimizationResult,
     minimize_dropped_set,
+    minimize_workload,
 )
 from repro.forensics.replay import materialize_state, outcome_of, rebuild_session
 from repro.forensics.timeline import (
@@ -59,6 +63,8 @@ class Explanation:
     minimization: Optional[MinimizationResult]
     #: The rendered forensic view (timeline + diff + verdicts).
     text: str
+    #: Workload minimization result, when that pass was requested.
+    workload_minimization: Optional[WorkloadMinimizationResult] = None
 
 
 def explain_report(
@@ -67,15 +73,28 @@ def explain_report(
     budget: int = DEFAULT_BUDGET,
     chrome_out: Optional[str] = None,
     telemetry=None,
+    cache: Optional[ForensicsCache] = None,
+    minimize_ops: bool = False,
+    workload_budget: int = DEFAULT_WORKLOAD_BUDGET,
 ) -> Explanation:
-    """Run the full forensic pass on one provenance-carrying report."""
+    """Run the full forensic pass on one provenance-carrying report.
+
+    With a ``cache`` the session rebuild and every ddmin verdict go through
+    the cross-report memo, so batch callers pay one recording per
+    reproduction context instead of one per report.  ``minimize_ops``
+    additionally runs workload ddmin, shrinking the op sequence to the ops
+    essential for the consequence.
+    """
     prov = report.provenance
     if prov is None:
         raise ValueError(
             "report carries no provenance (was the campaign run with "
             "forensics disabled?)"
         )
-    session = rebuild_session(prov, telemetry=telemetry)
+    if cache is not None:
+        session = cache.session(prov)
+    else:
+        session = rebuild_session(prov, telemetry=telemetry)
     target = report.consequence.name
     outcome = outcome_of(session.original_reports())
     reproduced = target in outcome
@@ -92,7 +111,7 @@ def explain_report(
     culprits: tuple = ()
     if minimize and reproduced:
         minimization = minimize_dropped_set(
-            session, target, budget=budget, telemetry=telemetry
+            session, target, budget=budget, telemetry=telemetry, cache=cache
         )
         culprits = minimization.culprit_seqs
         lines.append(minimization.describe())
@@ -102,9 +121,15 @@ def explain_report(
                 "persisted: the required persist is missing from the log "
                 "entirely — a missing-flush bug)"
             )
+    workload_min: Optional[WorkloadMinimizationResult] = None
+    if minimize_ops and reproduced:
+        workload_min = minimize_workload(
+            prov, target, budget=workload_budget, telemetry=telemetry
+        )
+        lines.append(workload_min.describe())
     layout = session.chipmunk.fs_class.layout_map(session.base)
     lines.append("")
-    lines.append(render_timeline(prov, layout, culprits))
+    lines.append(render_timeline(prov, layout, culprits, workload_min))
     reference = materialize_state(
         prov, session.region, range(len(session.region.units)), kind="subset"
     ).image
@@ -127,4 +152,5 @@ def explain_report(
         reproduced=reproduced,
         minimization=minimization,
         text="\n".join(lines),
+        workload_minimization=workload_min,
     )

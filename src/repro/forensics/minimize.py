@@ -1,4 +1,4 @@
-"""Store-set minimization by delta debugging.
+"""Store-set and workload minimization by delta debugging.
 
 A failing crash state usually drops more in-flight writes than the bug
 needs: the replayer enumerates subsets bottom-up, so the *persisted* set is
@@ -9,22 +9,39 @@ sets through the real checker until no single chunk can be removed, and
 returns the minimal set of unpersisted stores that still trips the same
 checker outcome.
 
-Every candidate costs one mount + walk + compare, so the pass is bounded by
-a replay budget; when the budget runs out the best set found so far is
-returned, flagged ``budget_exhausted``.  All replays run under a PR-1
-telemetry span (``forensics.minimize``) with a ``forensics.replays``
-counter when a telemetry object is attached.
+The same ddmin core also shrinks the *workload*
+(:func:`minimize_workload`): re-running the full harness on op
+subsequences while the consequence survives, so a seq-3 culprit workload
+collapses to its essential ops.  A full harness run is far more expensive
+than a checker replay, so the workload pass gets its own, much smaller,
+default budget.
+
+Every candidate costs one mount + walk + compare (or, for the workload
+pass, a full record/oracle/enumerate/check run), so both passes are bounded
+by a budget; when it runs out the best set found so far is returned,
+flagged ``budget_exhausted``.  All replays run under a PR-1 telemetry span
+(``forensics.minimize`` / ``forensics.minimize_workload``) with
+``forensics.replays`` / ``forensics.workload_runs`` counters when a
+telemetry object is attached.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.forensics.replay import ReplaySession, outcome_of
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache -> replay)
+    from repro.forensics.cache import ForensicsCache
+
 #: Default maximum checker replays per minimization.
 DEFAULT_BUDGET = 128
+
+#: Default maximum full harness runs per workload minimization.  Each test
+#: is a complete record/oracle/enumerate/check pipeline, so the budget is an
+#: order of magnitude tighter than the store-set one.
+DEFAULT_WORKLOAD_BUDGET = 24
 
 
 class BudgetExhausted(Exception):
@@ -139,12 +156,15 @@ def minimize_dropped_set(
     target: str,
     budget: int = DEFAULT_BUDGET,
     telemetry=None,
+    cache: Optional["ForensicsCache"] = None,
 ) -> MinimizationResult:
     """Shrink the dropped unit set of a session's crash state.
 
     ``target`` is the consequence name (e.g. ``"UNREADABLE"``) to preserve:
     a candidate set of dropped units reproduces when the checker's verdict
-    for the corresponding state still contains it.
+    for the corresponding state still contains it.  With a ``cache``, every
+    verdict goes through its persisted-subset memo, so minimizing K reports
+    that share a crash point re-uses each other's replays.
     """
     tel = telemetry if telemetry is not None and telemetry.enabled else None
     all_units = list(range(len(session.region.units)))
@@ -154,6 +174,8 @@ def minimize_dropped_set(
         if tel is not None:
             tel.count("forensics.replays")
         persisted = [i for i in all_units if i not in set(candidate_dropped)]
+        if cache is not None:
+            return target in cache.check_positions(session, persisted)
         return target in outcome_of(session.check_units(persisted))
 
     def run() -> MinimizationResult:
@@ -192,5 +214,125 @@ def minimize_dropped_set(
                       dropped=len(dropped), budget=budget):
             result = run()
         tel.count("forensics.minimizations")
+        return result
+    return run()
+
+
+@dataclass
+class WorkloadMinimizationResult:
+    """Outcome of one workload (op-sequence) minimization."""
+
+    #: Consequence name the pass preserved.
+    target: str
+    #: Descriptions of the full original workload, in program order.
+    original_ops: Tuple[str, ...]
+    #: Descriptions of the minimal subsequence still reproducing the target.
+    minimal_ops: Tuple[str, ...]
+    #: Indices into the original workload of the minimal subsequence.
+    minimal_indices: Tuple[int, ...]
+    #: Full harness runs spent.
+    n_runs: int
+    #: True when the budget ran out before the pass converged.
+    budget_exhausted: bool
+    #: False when even the full workload no longer produces the target
+    #: consequence — the remaining fields are then meaningless.
+    reproduced: bool = True
+
+    @property
+    def removed(self) -> int:
+        return len(self.original_ops) - len(self.minimal_ops)
+
+    def describe(self) -> str:
+        if not self.reproduced:
+            return f"workload minimization failed: {self.target} did not reproduce"
+        note = " [budget exhausted]" if self.budget_exhausted else ""
+        return (
+            f"minimal workload: {len(self.minimal_ops)} of "
+            f"{len(self.original_ops)} op(s) suffice for {self.target} "
+            f"({self.n_runs} runs{note})"
+        )
+
+    def headline(self) -> str:
+        """One timeline-header line naming the essential ops."""
+        if not self.reproduced:
+            return f"minimal workload: (not reproduced for {self.target})"
+        ops = "; ".join(self.minimal_ops) or "<empty>"
+        return (
+            f"minimal workload: {ops} "
+            f"({len(self.minimal_ops)} of {len(self.original_ops)} op(s))"
+        )
+
+
+def minimize_workload(
+    prov,
+    target: str,
+    budget: int = DEFAULT_WORKLOAD_BUDGET,
+    telemetry=None,
+) -> WorkloadMinimizationResult:
+    """Shrink a provenance's workload to the ops essential for ``target``.
+
+    Runs ddmin over the op *subsequence* lattice: each candidate re-runs the
+    full harness pipeline (record, oracle, enumerate, check) on the
+    subsequence — with the original setup phase intact — and reproduces when
+    any resulting crash state files the target consequence.  Unlike the
+    store-set pass this explores different recordings, so it cannot share
+    the replay session or the verdict cache; each test costs a full
+    pipeline run and the default budget is correspondingly small.
+    """
+    from repro.core.harness import Chipmunk, ChipmunkConfig
+    from repro.forensics.provenance import ops_from_tuples
+    from repro.fs.bugs import BugConfig
+
+    tel = telemetry if telemetry is not None and telemetry.enabled else None
+    workload = ops_from_tuples(prov.workload)
+    setup = ops_from_tuples(prov.setup)
+    bugs = BugConfig(frozenset(prov.bug_ids))
+    config = ChipmunkConfig(
+        device_size=prov.device_size,
+        cap=prov.cap,
+        coalesce_threshold=prov.coalesce_threshold,
+        usability_check=prov.usability_check,
+        crash_points=prov.crash_points,
+        forensics=False,  # candidates need verdicts, not new provenance
+    )
+
+    def test(indices: List[int]) -> bool:
+        if tel is not None:
+            tel.count("forensics.workload_runs")
+        candidate = [workload[i] for i in indices]
+        chipmunk = Chipmunk(prov.fs_name, bugs=bugs, config=config)
+        result = chipmunk.test_workload(candidate, setup=setup)
+        return any(r.consequence.name == target for r in result.reports)
+
+    indices = list(range(len(workload)))
+    descriptions = tuple(op.describe() for op in workload)
+
+    def run() -> WorkloadMinimizationResult:
+        if not test(indices):
+            return WorkloadMinimizationResult(
+                target=target,
+                original_ops=descriptions,
+                minimal_ops=descriptions,
+                minimal_indices=tuple(indices),
+                n_runs=1,
+                budget_exhausted=False,
+                reproduced=False,
+            )
+        minimal, spent, exhausted = ddmin(indices, test, budget=budget)
+        minimal = sorted(minimal)
+        return WorkloadMinimizationResult(
+            target=target,
+            original_ops=descriptions,
+            minimal_ops=tuple(descriptions[i] for i in minimal),
+            minimal_indices=tuple(minimal),
+            n_runs=spent + 1,
+            budget_exhausted=exhausted,
+        )
+
+    if tel is not None:
+        with tel.span("forensics.minimize_workload", target=target,
+                      ops=len(workload), budget=budget):
+            result = run()
+        tel.count("forensics.workload_minimizations")
         return result
     return run()

@@ -32,6 +32,14 @@ DROPPED = "dropped"
 FENCE = "fence"
 MARKER = "marker"
 
+#: Maximum store payload bytes embedded per provenance entry.  Data-heavy
+#: workloads log block-sized (512 B+) stores; embedding them whole would
+#: blow up ``bugs.json`` by orders of magnitude, and the first cache line is
+#: what a developer actually reads in a lineage (the replay layer never
+#: needs the payload — it re-records).  Longer payloads are truncated with
+#: an explicit ``payload_truncated`` marker.
+PAYLOAD_CAP = 32
+
 
 @dataclass(frozen=True)
 class ProvEntry:
@@ -52,9 +60,14 @@ class ProvEntry:
     syscall: Optional[int] = None
     #: Marker text (syscall name and arguments) for begin/end entries.
     label: str = ""
+    #: Hex of the store payload's first :data:`PAYLOAD_CAP` bytes ("" for
+    #: non-store entries or payload-free captures).
+    payload: str = ""
+    #: True when the payload was longer than :data:`PAYLOAD_CAP`.
+    payload_truncated: bool = False
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out = {
             "seq": self.seq,
             "kind": self.kind,
             "status": self.status,
@@ -65,6 +78,13 @@ class ProvEntry:
             "syscall": self.syscall,
             "label": self.label,
         }
+        # Payload keys only when present: fences, markers, and short-store
+        # captures pay zero serialization cost.
+        if self.payload:
+            out["payload"] = self.payload
+        if self.payload_truncated:
+            out["payload_truncated"] = True
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ProvEntry":
@@ -78,6 +98,8 @@ class ProvEntry:
             length=int(data.get("length", 0)),
             syscall=data.get("syscall"),
             label=str(data.get("label", "")),
+            payload=str(data.get("payload", "")),
+            payload_truncated=bool(data.get("payload_truncated", False)),
         )
 
 
@@ -241,6 +263,7 @@ def capture_provenance(
             else:
                 status = REPLAYED if pos_in_region in replayed else DROPPED
                 pos_in_region += 1
+            data = entry.data
             entries.append(
                 ProvEntry(
                     seq=seq,
@@ -251,6 +274,8 @@ def capture_provenance(
                     addr=entry.addr,
                     length=entry.length,
                     syscall=entry.syscall,
+                    payload=data[:PAYLOAD_CAP].hex(),
+                    payload_truncated=len(data) > PAYLOAD_CAP,
                 )
             )
         elif isinstance(entry, Fence):

@@ -177,7 +177,24 @@ class ReplaySession:
         return self.checker.check(self.original_state())
 
 
-def rebuild_session(prov: CrashProvenance, telemetry=None) -> ReplaySession:
+@dataclass
+class Recording:
+    """The crash-point-independent part of a rebuilt session.
+
+    Re-recording the workload (mkfs + setup + probed execution + oracle)
+    dominates the cost of :func:`rebuild_session`; everything in this
+    object depends only on the provenance's *reproduction context* — not on
+    where the crash happened — so reports sharing a context can share one
+    ``Recording`` (:mod:`repro.forensics.cache`).
+    """
+
+    chipmunk: Chipmunk
+    base: bytes
+    log: PMLog
+    checker: ConsistencyChecker
+
+
+def rebuild_recording(prov: CrashProvenance, telemetry=None) -> Recording:
     """Re-record the workload of a saved provenance and set up checking.
 
     The rebuilt harness uses the same bug configuration, replay cap, and
@@ -207,19 +224,43 @@ def rebuild_session(prov: CrashProvenance, telemetry=None) -> ReplaySession:
         bugs=bugs,
         config=CheckerConfig(usability_check=config.usability_check),
     )
-    region = crash_region(prov, base, log)
-    if prov.log_pos > len(log.entries):
+    return Recording(chipmunk=chipmunk, base=base, log=log, checker=checker)
+
+
+def session_from_recording(
+    prov: CrashProvenance, recording: Recording
+) -> ReplaySession:
+    """Derive the crash-point-specific session from a shared recording.
+
+    This is the cheap half of :func:`rebuild_session`: walking the already-
+    recorded log up to this provenance's crash point and coalescing the
+    in-flight units.  The caller is responsible for only pairing a
+    provenance with a recording rebuilt from the same reproduction context.
+    """
+    region = crash_region(prov, recording.base, recording.log)
+    if prov.log_pos > len(recording.log.entries):
         raise ValueError(
             f"provenance crash point {prov.log_pos} beyond rebuilt log of "
-            f"{len(log.entries)} entries — recording is not reproducing"
+            f"{len(recording.log.entries)} entries — recording is not "
+            "reproducing"
         )
     original_units = region.units_of(prov.replayed_entries)
     return ReplaySession(
         prov=prov,
-        chipmunk=chipmunk,
-        base=base,
-        log=log,
-        checker=checker,
+        chipmunk=recording.chipmunk,
+        base=recording.base,
+        log=recording.log,
+        checker=recording.checker,
         region=region,
         original_units=original_units,
     )
+
+
+def rebuild_session(prov: CrashProvenance, telemetry=None) -> ReplaySession:
+    """One-shot rebuild: re-record the context, then derive the session.
+
+    Batch callers explaining many reports should go through
+    :class:`repro.forensics.cache.ForensicsCache` instead, which shares the
+    expensive recording across reports with the same reproduction context.
+    """
+    return session_from_recording(prov, rebuild_recording(prov, telemetry))

@@ -59,11 +59,16 @@ def render_timeline(
     prov: CrashProvenance,
     layout: Optional[LayoutMap] = None,
     culprit_seqs: Sequence[int] = (),
+    workload_min=None,
 ) -> str:
     """The lineage as a fence-epoch ordering timeline (plain text).
 
     ``culprit_seqs`` — log sequence numbers from a
     :class:`~repro.forensics.minimize.MinimizationResult` — are starred.
+    ``workload_min`` — a
+    :class:`~repro.forensics.minimize.WorkloadMinimizationResult` — adds a
+    minimal-workload header line; existing callers passing ``None`` get
+    byte-identical output.
     """
     culprits = frozenset(culprit_seqs)
     counts = prov.counts()
@@ -75,6 +80,8 @@ def render_timeline(
             f" | fence epochs: {prov.n_epochs} | state: {prov.state_kind}"
         ),
     ]
+    if workload_min is not None:
+        lines.append(workload_min.headline())
     current_epoch = -1
     for entry in prov.entries:
         if entry.epoch != current_epoch:

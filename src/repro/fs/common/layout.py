@@ -128,6 +128,19 @@ class LayoutMap:
                 return f"{named.name}+{rel:#x}"
         return f"<unmapped>+{addr:#x}"
 
+    def region_of(self, addr: int) -> str:
+        """The bare region name covering ``addr`` (no slot index).
+
+        Slot and offset are deliberately dropped: provenance-guided triage
+        keys on *which structure* a store touched, and slot indices would
+        split one bug across workloads that happen to allocate different
+        inodes.  Unmapped addresses all collapse to ``"<unmapped>"``.
+        """
+        for named in self.regions:
+            if named.region.contains(addr):
+                return named.name
+        return "<unmapped>"
+
     def locate_range(self, addr: int, length: int) -> str:
         """Annotate a byte range; spans crossing regions name both ends."""
         start = self.locate(addr)

@@ -163,6 +163,29 @@ def unpack_superblock(buf: bytes) -> Ext4DaxGeometry:
     )
 
 
+def layout_regions(geom: Ext4DaxGeometry, prefix: str = ""):
+    """Named forensic regions of an ext4-DAX geometry.
+
+    Honors ``origin``, so SplitFS can annotate its embedded kernel
+    component with a ``kernel.`` prefix from the same definition.
+    """
+    from repro.fs.common.layout import NamedRegion
+
+    data_start = geom.first_data_block * geom.block_size
+    data_end = geom.origin + geom.device_size
+    return (
+        NamedRegion(f"{prefix}superblock", Region(geom.origin, geom.block_size)),
+        NamedRegion(f"{prefix}journal", geom.journal),
+        NamedRegion(f"{prefix}inode_table", geom.inode_table,
+                    slot_size=INODE_SLOT_SIZE),
+        NamedRegion(f"{prefix}xattr_area", geom.xattr_area,
+                    slot_size=XATTR_ENTRY),
+        NamedRegion(f"{prefix}bitmap", geom.bitmap),
+        NamedRegion(f"{prefix}data", Region(data_start, data_end - data_start),
+                    slot_size=geom.block_size),
+    )
+
+
 @dataclass
 class DaxInode:
     """Volatile (authoritative between commits) inode state."""
@@ -243,6 +266,24 @@ class Ext4DaxFS(FileSystem):
         fs = cls(device, cls.ops_class(device), geom, bugs, **kwargs)
         fs._format()
         return fs
+
+    @classmethod
+    def layout_map(cls, image: bytes):
+        from repro.fs.common.layout import LayoutMap, single_region_map
+
+        try:
+            geom = unpack_superblock(bytes(image[:64]))
+        except Exception:  # torn superblock on a crash image
+            return single_region_map(len(image))
+        if type(geom) is not cls.geometry_class:
+            geom = cls.geometry_class(
+                device_size=geom.device_size,
+                block_size=geom.block_size,
+                inode_blocks=geom.inode_blocks,
+                journal_blocks=geom.journal_blocks,
+                xattr_blocks=geom.xattr_blocks,
+            )
+        return LayoutMap(layout_regions(geom))
 
     @classmethod
     def mount(cls, device: PMDevice, bugs=None, origin: int = 0, **kwargs) -> "Ext4DaxFS":

@@ -211,6 +211,50 @@ class SplitFS(FileSystem):
     # Lifecycle
     # ------------------------------------------------------------------
     @classmethod
+    def layout_map(cls, image: bytes):
+        from repro.fs.common.layout import (
+            LayoutMap,
+            NamedRegion,
+            single_region_map,
+        )
+        from repro.fs.ext4dax.fs import (
+            layout_regions,
+            unpack_superblock as unpack_kernel_sb,
+        )
+
+        try:
+            geom = unpack_superblock(bytes(image[:64]))
+        except Exception:  # torn superblock on a crash image
+            return single_region_map(len(image))
+        regions = [
+            NamedRegion("superblock", Region(0, geom.block_size)),
+            NamedRegion("oplog", geom.oplog, slot_size=ENTRY_SIZE),
+            NamedRegion("staging", geom.staging, slot_size=geom.block_size),
+        ]
+        # The embedded K-Split (ext4-DAX) has its own superblock at
+        # kernel_origin; when it parses, its regions are annotated with a
+        # ``kernel.`` prefix, otherwise the component stays one opaque
+        # region (its superblock may be torn independently of ours).
+        try:
+            ksb = unpack_kernel_sb(
+                bytes(image[geom.kernel_origin : geom.kernel_origin + 64])
+            )
+            kgeom = Ext4DaxGeometry(
+                device_size=ksb.device_size,
+                block_size=ksb.block_size,
+                inode_blocks=ksb.inode_blocks,
+                journal_blocks=ksb.journal_blocks,
+                xattr_blocks=ksb.xattr_blocks,
+                origin=geom.kernel_origin,
+            )
+            regions.extend(layout_regions(kgeom, prefix="kernel."))
+        except Exception:
+            regions.append(
+                NamedRegion("kernel", Region(geom.kernel_origin, geom.kernel_size))
+            )
+        return LayoutMap(tuple(regions))
+
+    @classmethod
     def mkfs(cls, device: PMDevice, geometry=None, bugs=None, **kwargs) -> "SplitFS":
         geom = geometry or cls.geometry_class(device_size=device.size)
         if geom.device_size != device.size:

@@ -25,6 +25,7 @@ from time import perf_counter
 from typing import Dict, Optional, Sequence
 
 from repro.obs.metrics import (
+    CacheCounters,
     Counter,
     Gauge,
     Histogram,
@@ -43,7 +44,7 @@ from repro.obs.tracing import (
 
 __all__ = [
     "Telemetry", "NullTelemetry", "NULL",
-    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "CacheCounters",
     "Tracer", "Span",
     "write_jsonl", "read_jsonl", "spans_to_chrome", "jsonl_to_chrome",
     "INFLIGHT_EDGES", "LATENCY_EDGES",

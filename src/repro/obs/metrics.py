@@ -106,6 +106,48 @@ class Histogram:
         }
 
 
+class CacheCounters:
+    """A hit/miss counter pair for one named cache.
+
+    Thin convenience over two :class:`Counter` objects named
+    ``<name>.hits`` / ``<name>.misses`` so every cache in the system
+    surfaces the same metric shape.  When built from a
+    :class:`MetricsRegistry` the counters land in its snapshot; standalone
+    construction (no registry) keeps cache code usable without telemetry.
+    """
+
+    __slots__ = ("name", "hits", "misses")
+
+    def __init__(self, name: str, registry: Optional["MetricsRegistry"] = None) -> None:
+        self.name = name
+        if registry is not None:
+            self.hits = registry.counter(f"{name}.hits")
+            self.misses = registry.counter(f"{name}.misses")
+        else:
+            self.hits = Counter(f"{name}.hits")
+            self.misses = Counter(f"{name}.misses")
+
+    def hit(self, n: int = 1) -> None:
+        self.hits.inc(n)
+
+    def miss(self, n: int = 1) -> None:
+        self.misses.inc(n)
+
+    @property
+    def total(self) -> int:
+        return self.hits.value + self.misses.value
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits.value / self.total if self.total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.hits.value} hit(s), "
+            f"{self.misses.value} miss(es) ({self.hit_rate * 100:.0f}%)"
+        )
+
+
 class MetricsRegistry:
     """Named metric store; lookups are memoized so hot paths can cache the
     returned object and skip the dictionary entirely."""

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.core.harness import Chipmunk
 from repro.forensics.provenance import (
     DROPPED,
+    PAYLOAD_CAP,
     DURABLE,
     REPLAYED,
     CrashProvenance,
@@ -152,3 +153,68 @@ class TestCaptureFunction:
         assert len(prov.entries) == 2
         assert [e.kind for e in prov.entries] == ["store", "fence"]
         assert prov.entries[0].status == DURABLE
+
+
+class TestPayloadBudget:
+    """Payload capture is bounded: a data-heavy campaign's ``bugs.json``
+    stays within a fixed size budget.
+
+    ACE seq-2 index 9 writes two 1 KiB extents; unbounded payloads would
+    serialize every written byte into every report's lineage (~85 KB here,
+    growing linearly with write sizes).  The :data:`PAYLOAD_CAP` prefix
+    keeps the whole report set under 64 KiB while still carrying enough
+    bytes to identify torn content.
+    """
+
+    BUDGET = 64 * 1024
+
+    @classmethod
+    def setup_class(cls):
+        from repro.workloads import ace
+
+        w = ace.workload_at(2, 9)  # ...; write('/bar', 0, 66, 1024)
+        cls.reports = Chipmunk("nova").test_workload(
+            w.core, setup=w.setup
+        ).reports
+
+    def test_bugs_json_stays_under_budget(self):
+        blob = json.dumps(
+            {"reports": [r.to_dict() for r in self.reports]}, sort_keys=True
+        )
+        assert self.reports, "data-heavy campaign found no reports"
+        assert len(blob) <= self.BUDGET
+
+    def test_large_stores_are_truncated_with_marker(self):
+        truncated = [
+            e
+            for r in self.reports
+            for e in r.provenance.entries
+            if e.payload_truncated
+        ]
+        assert truncated, "1 KiB writes should exceed PAYLOAD_CAP"
+        for entry in truncated:
+            assert len(entry.payload) == 2 * PAYLOAD_CAP  # hex digits
+            assert entry.length > PAYLOAD_CAP
+
+    def test_small_stores_keep_full_payload(self):
+        small = [
+            e
+            for r in self.reports
+            for e in r.provenance.entries
+            if e.kind == "store" and not e.payload_truncated
+        ]
+        assert small
+        for entry in small:
+            assert len(entry.payload) == 2 * entry.length
+
+    def test_truncation_survives_the_roundtrip(self):
+        entry = next(
+            e
+            for r in self.reports
+            for e in r.provenance.entries
+            if e.payload_truncated
+        )
+        data = json.loads(json.dumps(entry.to_dict()))
+        restored = ProvEntry.from_dict(data)
+        assert restored.payload == entry.payload
+        assert restored.payload_truncated is True
