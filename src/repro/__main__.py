@@ -159,7 +159,7 @@ def cmd_test(args) -> int:
     chipmunk = Chipmunk(
         args.fs,
         bugs=_bug_config(args.fs, args.bugs, args.fixed),
-        config=ChipmunkConfig(cap=args.cap),
+        config=ChipmunkConfig(cap=args.cap, memoize=args.memoize),
         telemetry=tel,
     )
     result = chipmunk.test_workload(args.op or [Op("creat", ("/probe",))])
@@ -178,7 +178,7 @@ def cmd_ace(args) -> int:
     chipmunk = Chipmunk(
         args.fs,
         bugs=_bug_config(args.fs, args.bugs, args.fixed),
-        config=ChipmunkConfig(cap=args.cap),
+        config=ChipmunkConfig(cap=args.cap, memoize=args.memoize),
         telemetry=tel,
     )
     mode = "pm" if FS_CLASSES()[args.fs].strong_guarantees else "fsync"
@@ -226,7 +226,7 @@ def cmd_fuzz(args) -> int:
     chipmunk = Chipmunk(
         args.fs,
         bugs=_bug_config(args.fs, args.bugs, args.fixed),
-        config=ChipmunkConfig(cap=args.cap),
+        config=ChipmunkConfig(cap=args.cap, memoize=args.memoize),
         telemetry=tel,
     )
     fuzzer = WorkloadFuzzer(chipmunk, seed=args.seed)
@@ -303,6 +303,7 @@ def cmd_campaign(args) -> int:
             segments=args.segments,
             executions=args.executions,
             trace=args.trace,
+            memoize=args.memoize,
         )
     engine = CampaignEngine(
         spec,
@@ -501,6 +502,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--fixed", action="store_true", help="run the fully fixed variant"
         )
         p.add_argument("--cap", type=int, default=2, help="replay cap (default 2)")
+        p.add_argument(
+            "--no-memoize",
+            dest="memoize",
+            action="store_false",
+            help="disable content-addressed check memoization (eager "
+            "whole-image dedup; same reports, slower)",
+        )
 
     p_test = sub.add_parser("test", help="test one workload")
     add_common(p_test)
@@ -580,6 +588,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the fully fixed variant")
     p_camp.add_argument("--cap", type=int, default=2,
                         help="replay cap (default 2)")
+    p_camp.add_argument(
+        "--no-memoize",
+        dest="memoize",
+        action="store_false",
+        help="disable content-addressed check memoization (eager "
+        "whole-image dedup; same reports, slower)",
+    )
     p_camp.add_argument("--batch", type=int, default=8,
                         help="work items per dispatch (default 8)")
     p_camp.add_argument("--timeout", type=float, default=60.0,

@@ -26,6 +26,9 @@ class CampaignSummary:
     unique_states: int = 0
     wall_time: float = 0.0
     truncated_workloads: int = 0
+    #: Check-memoization counters (``checker.memo.*``) summed over workloads.
+    memo_hits: int = 0
+    memo_misses: int = 0
     #: Provenance-guided triage by default: reports carrying a culprit site
     #: set cluster by (fs, consequence, sites) — one bug seen through
     #: different syscalls merges — and the rest fall back to the lexical
@@ -42,6 +45,8 @@ class CampaignSummary:
         self.crash_states += result.n_crash_states
         self.unique_states += result.n_unique_states
         self.wall_time += result.elapsed
+        self.memo_hits += getattr(result, "memo_hits", 0)
+        self.memo_misses += getattr(result, "memo_misses", 0)
         if getattr(result, "truncated", False):
             self.truncated_workloads += 1
         for stage, dt in getattr(result, "stage_times", {}).items():
@@ -83,6 +88,14 @@ def _telemetry_section(summary: CampaignSummary) -> List[str]:
     if summary.crash_states:
         rate = 1.0 - summary.unique_states / summary.crash_states
         lines.append(f"- **dedup hit-rate:** {rate * 100:.1f}%")
+    memo_total = summary.memo_hits + summary.memo_misses
+    if memo_total:
+        lines.append(
+            f"- **check memo hit-rate:** "
+            f"{summary.memo_hits / memo_total * 100:.1f}% "
+            f"({summary.memo_hits} hit(s), {summary.memo_misses} miss(es); "
+            f"`checker.memo.*`)"
+        )
     lines.append("")
     lines.append("| stage | total (ms) | share |")
     lines.append("| --- | ---: | ---: |")

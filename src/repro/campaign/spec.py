@@ -39,6 +39,9 @@ class CampaignSpec:
     executions: int = 25
     #: Write per-worker telemetry traces into the campaign directory.
     trace: bool = False
+    #: Content-addressed check memoization (``ChipmunkConfig.memoize``);
+    #: part of the spec so a resumed campaign keeps the original setting.
+    memoize: bool = True
 
     def __post_init__(self) -> None:
         if self.fs not in FS_CLASSES():
@@ -64,7 +67,7 @@ class CampaignSpec:
         return Chipmunk(
             self.fs,
             bugs=self.bug_config(),
-            config=ChipmunkConfig(cap=self.cap),
+            config=ChipmunkConfig(cap=self.cap, memoize=self.memoize),
             telemetry=telemetry,
         )
 

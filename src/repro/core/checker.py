@@ -19,6 +19,7 @@ copies are the in-process equivalent).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -26,7 +27,9 @@ from repro.core.oracle import OracleResult, TreeState
 from repro.core.replayer import CrashState
 from repro.core.report import BugReport, Consequence, diff_trees
 from repro.fs.common.alloc import AllocatorError
+from repro.obs.metrics import CacheCounters
 from repro.pm.device import PMDevice, PMDeviceError
+from repro.pm.image import CrashImage, FenceBase
 from repro.vfs.errors import FsError
 from repro.vfs.interface import FileSystem, MountError
 from repro.vfs.types import FileType
@@ -66,6 +69,10 @@ class ConsistencyChecker:
         #: Optional :class:`~repro.forensics.provenance.ProvenanceRecorder`;
         #: when attached, every report carries its crash state's lineage.
         self.provenance = provenance
+        # One shared mount device per fence base (states of one region
+        # arrive consecutively, so a single-entry cache hits every time).
+        self._mount_base: Optional[FenceBase] = None
+        self._mount_device: Optional[PMDevice] = None
 
     # ------------------------------------------------------------------
     def check(self, state: CrashState) -> List[BugReport]:
@@ -87,7 +94,27 @@ class ConsistencyChecker:
         return reports
 
     def _check(self, state: CrashState) -> List[BugReport]:
-        device = PMDevice.from_snapshot(state.image, telemetry=self.telemetry)
+        image = state.image
+        if isinstance(image, CrashImage):
+            # Delta path: mount the fence region's shared device through a
+            # copy-on-write view of the state's overlay.  The view's undo
+            # log rolls back both the overlay and any checker mutation
+            # (mount-time recovery writes, the usability pass), so states
+            # never leak into each other — the paper's own undo-log
+            # strategy, instead of a full image copy per state.
+            if self._mount_base is not image.base:
+                self._mount_base = image.base
+                self._mount_device = PMDevice.from_snapshot(
+                    image.base.data, telemetry=self.telemetry
+                )
+            with self._mount_device.cow_view(image.writes) as device:
+                return self._check_device(state, device)
+        # Legacy eager path for flat images (hand-built states, the
+        # delta-vs-eager benchmark baseline): fresh device copy per state.
+        device = PMDevice.from_snapshot(image, telemetry=self.telemetry)
+        return self._check_device(state, device)
+
+    def _check_device(self, state: CrashState, device: PMDevice) -> List[BugReport]:
         try:
             fs = self.fs_class.mount(device, bugs=self.bugs)
         except MountError as exc:
@@ -308,3 +335,84 @@ class ConsistencyChecker:
                     )
                 )
         return reports
+
+
+class CheckMemo:
+    """Content-addressed check memoization: one checker run per distinct image.
+
+    The single entry point for checking crash states (the harness calls
+    nothing else), so memoization and the per-state ``check_state``
+    telemetry span wrap the same code path.  States are keyed by
+    ``(image content address, syscall, mid_syscall, after_syscall)`` — the
+    image digest alone is not enough, because a byte-identical image crash-
+    checked mid-syscall and post-syscall is judged against different oracle
+    expectations.
+
+    With ``delta=True`` the content address is
+    :meth:`~repro.pm.image.CrashImage.digest` — O(overlay), no
+    materialization.  Digest equality implies byte-identical images, so a
+    hit can never skip a state that would have checked differently; the
+    (rare) converse miss merely re-checks a duplicate.  Memoization
+    therefore cannot mask a bug, only cost a redundant check.
+
+    With ``delta=False`` every state is materialized and keyed by
+    ``sha1(image)`` — the eager whole-image dedup this PR replaces, kept as
+    the benchmark baseline and for flat-``bytes`` states.
+
+    :meth:`check` returns ``None`` on a memo hit (the state was already
+    checked; any findings are already in the caller's hands) and the
+    checker's report list on a miss.
+    """
+
+    def __init__(self, checker: ConsistencyChecker, telemetry=None,
+                 delta: bool = True) -> None:
+        self.checker = checker
+        self.delta = delta
+        self._tel = telemetry if telemetry is not None and telemetry.enabled else None
+        #: Per-memo hit/miss counts (one memo per workload).
+        self.hits = 0
+        self.misses = 0
+        # Registry-backed counters accumulate campaign-wide under
+        # ``checker.memo.*`` when telemetry is attached.
+        self._counters = (
+            CacheCounters("checker.memo", self._tel.metrics)
+            if self._tel is not None
+            else None
+        )
+        self._seen: set = set()
+
+    def key_of(self, state: CrashState):
+        image = state.image
+        if self.delta and isinstance(image, CrashImage):
+            digest = image.digest()
+        else:
+            digest = hashlib.sha1(
+                image if isinstance(image, (bytes, bytearray)) else bytes(image)
+            ).digest()
+        return (digest, state.syscall, state.mid_syscall, state.after_syscall)
+
+    @property
+    def checked(self) -> int:
+        """States actually checked — the campaign's "unique states"."""
+        return self.misses
+
+    def check(self, state: CrashState) -> Optional[List[BugReport]]:
+        key = self.key_of(state)
+        if key in self._seen:
+            self.hits += 1
+            if self._counters is not None:
+                self._counters.hit()
+            return None
+        self._seen.add(key)
+        self.misses += 1
+        if self._counters is not None:
+            self._counters.miss()
+        if self._tel is not None:
+            with self._tel.span(
+                "check_state",
+                fence=state.fence_index,
+                syscall=state.syscall_name or "",
+                n_replayed=state.n_replayed,
+            ):
+                return self.checker.check(state)
+        return self.checker.check(state)

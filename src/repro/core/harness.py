@@ -8,12 +8,11 @@ crash states, checks each, and triages the findings.
 
 from __future__ import annotations
 
-import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Type, Union
 
-from repro.core.checker import CheckerConfig, ConsistencyChecker
+from repro.core.checker import CheckerConfig, CheckMemo, ConsistencyChecker
 from repro.core.oracle import run_oracle
 from repro.core.probes import ProbeSet, probe_targets_of
 from repro.core.replayer import ReplayStats, enumerate_crash_states, inflight_histogram
@@ -49,6 +48,11 @@ class ChipmunkConfig:
     #: report.  Capture only runs for failing states, so the cost on clean
     #: workloads is a no-op.
     forensics: bool = True
+    #: Content-addressed check memoization: key crash states by their
+    #: O(overlay) delta digest instead of hashing the materialized image
+    #: (:class:`repro.core.checker.CheckMemo`).  ``False`` falls back to
+    #: eager whole-image sha1 dedup — same reports, eager cost.
+    memoize: bool = True
 
 
 #: Pipeline stage keys of :attr:`TestResult.stage_times`, in execution order.
@@ -76,6 +80,10 @@ class TestResult:
     #: True when checking stopped early at ``max_reports_per_workload`` —
     #: a capped campaign is not a clean one.
     truncated: bool = False
+    #: Check-memoization counters (``checker.memo.*``): states skipped
+    #: because a byte-identical image was already checked / states checked.
+    memo_hits: int = 0
+    memo_misses: int = 0
 
     @property
     def buggy(self) -> bool:
@@ -124,6 +132,8 @@ class TestResult:
             "errnos": list(self.errnos),
             "stage_times": dict(self.stage_times),
             "truncated": self.truncated,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
         }
 
     @classmethod
@@ -148,6 +158,8 @@ class TestResult:
                 for k, v in dict(data.get("stage_times", {})).items()
             },
             truncated=bool(data.get("truncated", False)),
+            memo_hits=int(data.get("memo_hits", 0)),
+            memo_misses=int(data.get("memo_misses", 0)),
         )
 
 
@@ -268,7 +280,10 @@ class Chipmunk:
             provenance=recorder,
         )
         stats = ReplayStats()
-        seen: set = set()
+        # The memo is the single entry point for checking: dedup (by delta
+        # digest or eager sha1, per ``config.memoize``), the ``check_state``
+        # telemetry span, and the checker call all live behind it.
+        memo = CheckMemo(checker, telemetry=tel, delta=self.config.memoize)
         reports: List[BugReport] = []
         n_states = 0
         truncated = False
@@ -291,29 +306,15 @@ class Chipmunk:
             if state is None:
                 break
             n_states += 1
-            key = (
-                hashlib.sha1(state.image).digest(),
-                state.syscall,
-                state.mid_syscall,
-                state.after_syscall,
-            )
-            if key in seen:
+            found = memo.check(state)
+            if found is None:
+                # Memo hit: a byte-identical state was already checked.
                 if tel.enabled:
                     tel.count("harness.dedup_hits")
                 t_prev = time.perf_counter()
                 check_time += t_prev - t_state
                 continue
-            seen.add(key)
-            if tel.enabled:
-                with tel.span(
-                    "check_state",
-                    fence=state.fence_index,
-                    syscall=state.syscall_name or "",
-                    n_replayed=state.n_replayed,
-                ):
-                    reports.extend(checker.check(state))
-            else:
-                reports.extend(checker.check(state))
+            reports.extend(found)
             t_prev = time.perf_counter()
             check_time += t_prev - t_state
             if len(reports) >= self.config.max_reports_per_workload:
@@ -329,7 +330,7 @@ class Chipmunk:
             reports=reports,
             clusters=clusters,
             n_crash_states=n_states,
-            n_unique_states=len(seen),
+            n_unique_states=memo.checked,
             n_fences=stats.n_fences,
             log_length=len(log),
             inflight=inflight_histogram(log, self.config.coalesce_threshold),
@@ -337,6 +338,8 @@ class Chipmunk:
             errnos=errnos,
             stage_times=stage_times,
             truncated=truncated,
+            memo_hits=memo.hits,
+            memo_misses=memo.misses,
         )
         if tel.enabled:
             self._emit_result(tel, result)
@@ -367,6 +370,8 @@ class Chipmunk:
             n_reports=len(result.reports),
             n_clusters=len(result.clusters),
             truncated=result.truncated,
+            memo_hits=result.memo_hits,
+            memo_misses=result.memo_misses,
             outcomes=outcomes,
             inflight=result.inflight,
         )

@@ -33,6 +33,8 @@ class ReadTrackingDevice(PMDevice):
 
     @classmethod
     def from_snapshot(cls, snap: bytes) -> "ReadTrackingDevice":
+        if not isinstance(snap, (bytes, bytearray)):
+            snap = bytes(snap)  # lazy CrashImage → flat bytes
         dev = cls(len(snap))
         dev.image = bytearray(snap)
         dev.read_ranges.clear()

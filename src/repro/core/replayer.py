@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.metrics import INFLIGHT_EDGES
+from repro.pm.image import ChunkedDigest, CrashImage, FenceBase
 from repro.pm.log import Fence, Flush, NTStore, PMLog, SyscallBegin, SyscallEnd, WriteEntry
 
 #: NT stores at least this large are treated as file-data writes for
@@ -30,9 +31,15 @@ SYNC_SYSCALLS = ("fsync", "fdatasync", "sync")
 
 @dataclass(frozen=True)
 class CrashState:
-    """One possible post-crash device image plus its provenance."""
+    """One possible post-crash device image plus its provenance.
 
-    image: bytes
+    ``image`` is normally a lazy :class:`~repro.pm.image.CrashImage`
+    (fence base + sparse overlay, O(delta) to build); flat ``bytes`` are
+    still accepted for hand-built states, and ``CrashImage`` compares,
+    hashes, and subscripts like ``bytes``, so consumers see no difference.
+    """
+
+    image: Union[CrashImage, bytes]
     #: Index of the fence region the state was built in.
     fence_index: int
     #: Syscall during which the crash happened (None between syscalls).
@@ -104,6 +111,58 @@ def apply_entries(image: bytearray, entries: Sequence[WriteEntry]) -> None:
         image[entry.addr : entry.addr + len(entry.data)] = entry.data
 
 
+def unit_positions(units: Sequence[Sequence[WriteEntry]]) -> List[Tuple[int, ...]]:
+    """In-flight vector positions covered by each coalesced unit.
+
+    Valid only for units in program order (straight out of
+    :func:`coalesce_units`): unit ``i`` covers the positions following
+    unit ``i-1``'s, so a running cursor recovers them without touching the
+    entries.
+    """
+    positions: List[Tuple[int, ...]] = []
+    cursor = 0
+    for unit in units:
+        positions.append(tuple(range(cursor, cursor + len(unit))))
+        cursor += len(unit)
+    return positions
+
+
+class _PersistTracker:
+    """The replayer's mutable persistent image plus its shared fence base.
+
+    Keeps the persistent ``bytearray`` in sync with an incremental content
+    digest (:class:`~repro.pm.image.ChunkedDigest`) and hands out one
+    immutable :class:`~repro.pm.image.FenceBase` per fence region, built
+    lazily at the region's first crash state and shared by every state of
+    the region.  Applying a fence's writes invalidates only the touched
+    digest chunks and drops the cached base, so advancing a region costs
+    O(bytes written), not O(device).
+    """
+
+    __slots__ = ("buf", "_digest", "_base")
+
+    def __init__(self, base_image: bytes) -> None:
+        self.buf = bytearray(base_image)
+        self._digest = ChunkedDigest(self.buf)
+        self._base: Optional[FenceBase] = None
+
+    def apply(self, entries: Sequence[WriteEntry]) -> None:
+        """Persist ``entries`` (a fence retiring the in-flight vector)."""
+        if not entries:
+            return
+        buf = self.buf
+        for entry in entries:
+            buf[entry.addr : entry.addr + len(entry.data)] = entry.data
+            self._digest.invalidate(entry.addr, len(entry.data))
+        self._base = None
+
+    def base(self) -> FenceBase:
+        """The current region's immutable snapshot (cached per region)."""
+        if self._base is None:
+            self._base = FenceBase(bytes(self.buf), self._digest.digest())
+        return self._base
+
+
 @dataclass
 class ReplayStats:
     """Aggregate statistics gathered while enumerating crash states."""
@@ -158,7 +217,7 @@ def enumerate_crash_states(
     """
     if crash_points not in ("fence", "post", "fsync"):
         raise ValueError(f"unknown crash_points mode {crash_points!r}")
-    persistent = bytearray(base_image)
+    persistent = _PersistTracker(base_image)
     inflight: List[WriteEntry] = []
     in_syscall: Optional[int] = None
     in_name: Optional[str] = None
@@ -170,16 +229,25 @@ def enumerate_crash_states(
 
     def subset_states(log_pos: int) -> Iterator[CrashState]:
         units = coalesce_units(inflight, coalesce_threshold)
-        if unit_ranker is not None and len(units) > 1:
-            units = unit_ranker(units)
-        # Replay must always happen in program order, whatever order the
-        # ranker put the units in.
-        program_order = {id(e): i for i, e in enumerate(inflight)}
         n = len(units)
         if not n:
             # Nothing in flight: the boundary state is already covered by
             # the adjacent regions' subsets and the post-syscall states.
             return
+        positions = unit_positions(units)
+        if unit_ranker is not None and n > 1:
+            # The ranked path pays for an id()-keyed order map so replay
+            # (which must stay in program order) can undo whatever order
+            # the ranker chose for *generation*.
+            rank_of = {id(u): i for i, u in enumerate(units)}
+            units = unit_ranker(units)
+            program_index = [rank_of[id(u)] for u in units]
+            positions = [positions[i] for i in program_index]
+        else:
+            # Unranked fast path: coalesce_units emits units in program
+            # order and combinations() enumerates indices ascending, so
+            # every combo is already program-ordered — no sort, no map.
+            program_index = None
         stats.max_inflight = max(stats.max_inflight, n)
         stats.inflight_per_fence.append(n)
         if tel is not None:
@@ -190,18 +258,22 @@ def enumerate_crash_states(
             if tel is not None:
                 tel.count("replay.capped_regions")
             max_size = cap
+        base = persistent.base()
         for size in range(0, max_size + 1):
             for combo in itertools.combinations(range(n), size):
-                image = bytearray(persistent)
+                if program_index is not None:
+                    combo = sorted(combo, key=lambda i: program_index[i])
                 chosen: List[WriteEntry] = []
+                replayed: List[int] = []
                 for unit_index in combo:
                     chosen.extend(units[unit_index])
-                chosen.sort(key=lambda e: program_order[id(e)])
-                apply_entries(image, chosen)
+                    replayed.extend(positions[unit_index])
                 desc = tuple(e.describe() for e in chosen) or ("<none persisted>",)
                 stats.n_states += 1
                 yield CrashState(
-                    image=bytes(image),
+                    image=CrashImage(
+                        base, tuple((e.addr, e.data) for e in chosen)
+                    ),
                     fence_index=fence_index,
                     syscall=in_syscall,
                     syscall_name=in_name,
@@ -210,9 +282,7 @@ def enumerate_crash_states(
                     subset_desc=desc,
                     n_replayed=size,
                     log_pos=log_pos,
-                    replayed_entries=tuple(
-                        program_order[id(e)] for e in chosen
-                    ),
+                    replayed_entries=tuple(replayed),
                     kind="subset",
                 )
 
@@ -227,7 +297,7 @@ def enumerate_crash_states(
                 # still in flight is lost in the worst case.
                 stats.n_states += 1
                 yield CrashState(
-                    image=bytes(persistent),
+                    image=CrashImage(persistent.base()),
                     fence_index=fence_index,
                     syscall=None,
                     syscall_name=entry.name,
@@ -245,7 +315,7 @@ def enumerate_crash_states(
         elif isinstance(entry, Fence):
             if crash_points == "fence":
                 yield from subset_states(log_pos)
-            apply_entries(persistent, inflight)
+            persistent.apply(inflight)
             inflight.clear()
             fence_index += 1
             stats.n_fences += 1
@@ -256,7 +326,7 @@ def enumerate_crash_states(
 
     if crash_points == "fence":
         yield from subset_states(len(log))
-    apply_entries(persistent, inflight)
+    persistent.apply(inflight)
     if crash_points in ("fence", "post"):
         # The final, fully persistent state: a crash after the workload
         # ends.  The fsync-only policy has no crash point here — its last
@@ -264,7 +334,7 @@ def enumerate_crash_states(
         # semantics).
         stats.n_states += 1
         yield CrashState(
-            image=bytes(persistent),
+            image=CrashImage(persistent.base()),
             fence_index=fence_index,
             syscall=None,
             syscall_name=None,

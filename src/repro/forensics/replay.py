@@ -16,10 +16,16 @@ from typing import FrozenSet, List, Optional, Sequence, Tuple
 from repro.core.checker import CheckerConfig, ConsistencyChecker
 from repro.core.harness import Chipmunk, ChipmunkConfig
 from repro.core.oracle import run_oracle
-from repro.core.replayer import CrashState, apply_entries, coalesce_units
+from repro.core.replayer import (
+    CrashState,
+    apply_entries,
+    coalesce_units,
+    unit_positions,
+)
 from repro.core.report import BugReport
 from repro.forensics.provenance import CrashProvenance, ops_from_tuples
 from repro.fs.bugs import BugConfig
+from repro.pm.image import CrashImage, FenceBase
 from repro.pm.log import Fence, Flush, NTStore, PMLog, WriteEntry
 from repro.workloads.ops import describe_workload
 
@@ -33,14 +39,22 @@ def outcome_of(reports: Sequence[BugReport]) -> FrozenSet[str]:
 class CrashRegion:
     """The crash fence region of a rebuilt log: base image + in-flight units."""
 
-    #: Persistent image with every pre-crash fence applied.
-    persistent: bytes
+    #: Persistent image with every pre-crash fence applied, as the shared
+    #: fence base every rematerialized state of this region builds on —
+    #: the minimizer re-checks dozens of subsets per region, and each one
+    #: costs O(overlay) instead of an image copy.
+    base: FenceBase
     #: In-flight write entries of the crash region, in program order.
     inflight: List[WriteEntry]
     #: Coalesced replay units; ``units[i]`` covers ``unit_positions[i]``.
     units: List[List[WriteEntry]]
     #: In-flight vector positions covered by each unit.
     unit_positions: List[Tuple[int, ...]]
+
+    @property
+    def persistent(self) -> bytes:
+        """The flat persistent image (the fence base's snapshot)."""
+        return self.base.data
 
     def positions_of(self, unit_indices: Sequence[int]) -> Tuple[int, ...]:
         out: List[int] = []
@@ -81,16 +95,11 @@ def crash_region(prov: CrashProvenance, base: bytes, log: PMLog) -> CrashRegion:
         elif isinstance(entry, (NTStore, Flush)):
             inflight.append(entry)
     units = coalesce_units(inflight, prov.coalesce_threshold)
-    positions: List[Tuple[int, ...]] = []
-    cursor = 0
-    for unit in units:
-        positions.append(tuple(range(cursor, cursor + len(unit))))
-        cursor += len(unit)
     return CrashRegion(
-        persistent=bytes(persistent),
+        base=FenceBase(bytes(persistent)),
         inflight=inflight,
         units=units,
-        unit_positions=positions,
+        unit_positions=unit_positions(units),
     )
 
 
@@ -112,8 +121,7 @@ def materialize_state(
     chosen: List[WriteEntry] = []
     for i in sorted(unit_indices):
         chosen.extend(region.units[i])
-    image = bytearray(region.persistent)
-    apply_entries(image, chosen)
+    image = CrashImage(region.base, tuple((e.addr, e.data) for e in chosen))
     if kind == "post":
         desc: Tuple[str, ...] = (
             ("<post-syscall; in-flight writes lost>",)
@@ -125,7 +133,7 @@ def materialize_state(
     else:
         desc = tuple(e.describe() for e in chosen) or ("<none persisted>",)
     return CrashState(
-        image=bytes(image),
+        image=image,
         fence_index=prov.fence_index,
         syscall=prov.syscall,
         syscall_name=prov.syscall_name,

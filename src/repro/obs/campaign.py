@@ -69,6 +69,10 @@ class CampaignStats:
     n_unique_states: int = 0
     n_fences: int = 0
     n_reports: int = 0
+    #: Check-memoization counters (``checker.memo.*``): states skipped
+    #: because a byte-identical image was already checked / states checked.
+    n_memo_hits: int = 0
+    n_memo_misses: int = 0
     wall_time: float = 0.0
     stage_totals: Dict[str, float] = field(default_factory=dict)
     outcome_counts: Dict[str, int] = field(default_factory=dict)
@@ -91,6 +95,8 @@ class CampaignStats:
         self.n_unique_states += result.n_unique_states
         self.n_fences += result.n_fences
         self.n_reports += len(result.reports)
+        self.n_memo_hits += getattr(result, "memo_hits", 0)
+        self.n_memo_misses += getattr(result, "memo_misses", 0)
         self.wall_time += result.elapsed
         if getattr(result, "truncated", False):
             self.n_truncated += 1
@@ -139,6 +145,12 @@ class CampaignStats:
     @property
     def states_per_second(self) -> float:
         return self.n_crash_states / self.wall_time if self.wall_time else 0.0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of crash states the check memo skipped."""
+        total = self.n_memo_hits + self.n_memo_misses
+        return self.n_memo_hits / total if total else 0.0
 
     # ------------------------------------------------------------------
     # Offline ingestion
@@ -197,6 +209,8 @@ class CampaignStats:
         self.n_unique_states += int(fields.get("n_unique_states", 0))
         self.n_fences += int(fields.get("n_fences", 0))
         self.n_reports += int(fields.get("n_reports", 0))
+        self.n_memo_hits += int(fields.get("memo_hits", 0))
+        self.n_memo_misses += int(fields.get("memo_misses", 0))
         self.wall_time += float(fields.get("elapsed", 0.0))
         if fields.get("truncated"):
             self.n_truncated += 1
@@ -231,6 +245,9 @@ class CampaignStats:
             "crash_states": self.n_crash_states,
             "unique_states": self.n_unique_states,
             "dedup_hit_rate": self.dedup_hit_rate,
+            "memo_hits": self.n_memo_hits,
+            "memo_misses": self.n_memo_misses,
+            "memo_hit_rate": self.memo_hit_rate,
             "fences": self.n_fences,
             "reports": self.n_reports,
             "wall_time": self.wall_time,
@@ -275,6 +292,12 @@ class CampaignStats:
             f"{self.states_per_second:.1f} crash states/sec   "
             f"fences: {self.n_fences}   reports: {self.n_reports}"
         )
+        if self.n_memo_hits or self.n_memo_misses:
+            lines.append(
+                f"check memo (checker.memo.*): {self.n_memo_hits} hit(s), "
+                f"{self.n_memo_misses} miss(es) "
+                f"(hit-rate {self.memo_hit_rate * 100:.1f}%)"
+            )
         lines.append("")
         lines.append("Per-stage timings")
         total = sum(self.stage_totals.values()) or 1.0

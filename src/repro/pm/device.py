@@ -9,7 +9,8 @@ write log rather than from the live image.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from contextlib import contextmanager
+from typing import Iterator, List, Sequence, Tuple
 
 #: Cache-line size on the modelled platform (bytes).
 CACHE_LINE = 64
@@ -95,6 +96,8 @@ class PMDevice:
 
     def restore(self, snap: bytes) -> None:
         """Replace the volatile image with a previously taken snapshot."""
+        if not isinstance(snap, (bytes, bytearray)):
+            snap = bytes(snap)
         if len(snap) != self.size:
             raise PMDeviceError(
                 f"snapshot size {len(snap)} does not match device size {self.size}"
@@ -103,7 +106,14 @@ class PMDevice:
 
     @classmethod
     def from_snapshot(cls, snap: bytes, telemetry=None) -> "PMDevice":
-        """Build a new device whose image is a copy of ``snap``."""
+        """Build a new device whose image is a copy of ``snap``.
+
+        ``snap`` may be anything bytes-like, including a lazy
+        :class:`~repro.pm.image.CrashImage` (materialized here) — the
+        legacy eager path for callers that hold flat images.
+        """
+        if not isinstance(snap, (bytes, bytearray)):
+            snap = bytes(snap)
         dev = cls(len(snap), telemetry=telemetry)
         dev.image = bytearray(snap)
         return dev
@@ -136,6 +146,43 @@ class PMDevice:
     @property
     def undo_active(self) -> bool:
         return self._undo is not None
+
+    # ------------------------------------------------------------------
+    # Copy-on-write mount view
+    # ------------------------------------------------------------------
+    @contextmanager
+    def cow_view(self, writes: Sequence[Tuple[int, bytes]]) -> Iterator["PMDevice"]:
+        """Temporarily present the image with ``writes`` overlaid.
+
+        The checker mounts every crash state of one fence region on the
+        *same* shared device: this view applies the state's sparse overlay
+        in place (saving before-images), arms the undo log so any mutation
+        the caller makes — mount-time recovery writes, the usability pass —
+        is recorded, and on exit rolls back both, restoring the device to
+        the fence base byte-for-byte.  A clean check of a one-replay state
+        therefore touches kilobytes, not the whole image.
+
+        Overlay application is deliberately silent: it bypasses the write
+        telemetry counters (it is state *construction*, not file-system
+        work) and the undo log, which only covers the caller's mutations.
+        """
+        if self._undo is not None:
+            raise PMDeviceError("undo log already active")
+        image = self.image
+        before: List[Tuple[int, bytes]] = []
+        for addr, data in writes:
+            self.check_range(addr, len(data))
+            before.append((addr, bytes(image[addr : addr + len(data)])))
+            image[addr : addr + len(data)] = data
+        self._undo = []
+        try:
+            yield self
+        finally:
+            records, self._undo = self._undo or [], None
+            for addr, prior in reversed(records):
+                image[addr : addr + len(prior)] = prior
+            for addr, prior in reversed(before):
+                image[addr : addr + len(prior)] = prior
 
 
 def cacheline_span(addr: int, length: int) -> range:

@@ -1,0 +1,212 @@
+"""Zero-copy crash-state images: shared fence bases plus sparse overlays.
+
+The replayer used to build every crash state eagerly — ``bytearray`` copy of
+the persistent image, replay the subset, freeze to ``bytes`` — an
+O(device_size) cost paid per *state* even though all states of one fence
+region share the same persistent base and differ only in a handful of
+replayed byte ranges.  This module holds the lazy representation:
+
+* :class:`FenceBase` — one immutable snapshot of the persistent image per
+  fence region, tagged with a content digest.  Every crash state of the
+  region shares the same object; nothing is copied per subset.
+* :class:`CrashImage` — a fence base plus a sparse overlay of replayed
+  ``(addr, payload)`` ranges.  Materialization to flat ``bytes`` happens
+  only on demand (forensics image diffs, legacy consumers) and is cached.
+* :class:`ChunkedDigest` — an incrementally maintained content digest over
+  the replayer's mutable persistent buffer, so taking a fence base at every
+  region costs O(bytes written since the last fence), not O(device).
+
+The content address of a crash state is
+``sha1(base.digest ‖ (addr, len, payload) per replayed range)``.  Digest
+equality therefore implies byte-identical images (two states with the same
+base content and the same overlay cannot differ), which is the direction
+check memoization needs: a memo hit can never skip a state that might have
+checked differently.  The converse does not hold — an overlay that happens
+to rewrite base bytes with identical content yields a distinct digest for
+an identical image — so memoization may rarely re-check a duplicate, which
+costs time but can never mask a bug.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+#: Granularity of the incremental digest over the persistent buffer.  Small
+#: enough that a fence region dirtying a few metadata lines rehashes a few
+#: chunks; large enough that the per-chunk bookkeeping stays negligible.
+CHUNK = 16 * 1024
+
+#: One overlay range: (device address, payload bytes).
+OverlayWrite = Tuple[int, bytes]
+
+
+class ChunkedDigest:
+    """Incrementally maintained content digest of a mutable buffer.
+
+    The buffer is divided into :data:`CHUNK`-sized pieces, each with a
+    cached sha1.  Writers call :meth:`invalidate` for every mutated range;
+    :meth:`digest` rehashes only the dirty chunks and combines the chunk
+    digests.  The combined value is a pure function of the buffer contents
+    (chunking is fixed), so equal contents always produce equal digests.
+    """
+
+    __slots__ = ("buf", "_chunks")
+
+    def __init__(self, buf: bytearray) -> None:
+        self.buf = buf
+        self._chunks: List[Optional[bytes]] = [None] * (
+            (len(buf) + CHUNK - 1) // CHUNK or 1
+        )
+
+    def invalidate(self, addr: int, length: int) -> None:
+        """Mark every chunk overlapping ``[addr, addr+length)`` dirty."""
+        if length <= 0:
+            return
+        for i in range(addr // CHUNK, (addr + length - 1) // CHUNK + 1):
+            self._chunks[i] = None
+
+    def digest(self) -> bytes:
+        """sha1 over the per-chunk sha1s, rehashing only dirty chunks."""
+        view = memoryview(self.buf)
+        combined = hashlib.sha1()
+        for i, cached in enumerate(self._chunks):
+            if cached is None:
+                cached = hashlib.sha1(view[i * CHUNK : (i + 1) * CHUNK]).digest()
+                self._chunks[i] = cached
+            combined.update(cached)
+        return combined.digest()
+
+
+class FenceBase:
+    """One fence region's immutable persistent snapshot, content-tagged.
+
+    Created once per fence region (lazily, at the region's first crash
+    state) and shared by reference across every state of the region — the
+    per-subset O(device) copy of the eager path becomes a per-region one.
+    ``digest`` is a content digest, so two regions whose persistent images
+    happen to coincide (e.g. a region whose writes were all idempotent)
+    share a content address even though they are distinct objects.
+    """
+
+    __slots__ = ("data", "digest")
+
+    def __init__(self, data: bytes, digest: Optional[bytes] = None) -> None:
+        self.data = data
+        self.digest = digest if digest is not None else hashlib.sha1(data).digest()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class CrashImage:
+    """A lazy crash-state image: shared fence base + sparse overlay.
+
+    Behaves like ``bytes`` for every consumer the pipeline has — length,
+    indexing/slicing, equality and ordering against other images or raw
+    ``bytes``, hashing — but costs O(overlay) to construct and to digest.
+    Flat ``bytes`` are produced only by :meth:`materialize` (cached), which
+    comparisons and subscripts fall back on; the hot check path (COW mount
+    via :meth:`repro.pm.device.PMDevice.cow_view` + digest memoization)
+    never materializes at all.
+    """
+
+    __slots__ = ("base", "writes", "_digest", "_mat")
+
+    def __init__(self, base: FenceBase, writes: Sequence[OverlayWrite] = ()) -> None:
+        self.base = base
+        #: Overlay ranges in replay (program) order; later writes win.
+        self.writes: Tuple[OverlayWrite, ...] = tuple(writes)
+        self._digest: Optional[bytes] = None
+        self._mat: Optional[bytes] = None
+
+    # ------------------------------------------------------------------
+    def digest(self) -> bytes:
+        """Content address: sha1(base digest ‖ each overlay range).
+
+        Equal digests imply byte-identical materialized images; see the
+        module docstring for why the one-way implication is the safe one.
+        """
+        if self._digest is None:
+            h = hashlib.sha1(self.base.digest)
+            for addr, data in self.writes:
+                h.update(struct.pack("<QQ", addr, len(data)))
+                h.update(data)
+            self._digest = h.digest()
+        return self._digest
+
+    def materialize(self) -> bytes:
+        """The flat ``bytes`` image (cached after the first call)."""
+        if self._mat is None:
+            if not self.writes:
+                self._mat = self.base.data
+            else:
+                buf = bytearray(self.base.data)
+                for addr, data in self.writes:
+                    buf[addr : addr + len(data)] = data
+                self._mat = bytes(buf)
+        return self._mat
+
+    # ------------------------------------------------------------------
+    # bytes-compatible surface
+    # ------------------------------------------------------------------
+    def __bytes__(self) -> bytes:
+        return self.materialize()
+
+    def __len__(self) -> int:
+        return len(self.base.data)
+
+    def __getitem__(self, key):
+        return self.materialize()[key]
+
+    def _content_of(self, other) -> Optional[bytes]:
+        if isinstance(other, CrashImage):
+            return other.materialize()
+        if isinstance(other, (bytes, bytearray)):
+            return bytes(other)
+        return None
+
+    def __eq__(self, other) -> bool:
+        content = self._content_of(other)
+        if content is None:
+            return NotImplemented
+        return self.materialize() == content
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __lt__(self, other) -> bool:
+        content = self._content_of(other)
+        if content is None:
+            return NotImplemented
+        return self.materialize() < content
+
+    def __le__(self, other) -> bool:
+        content = self._content_of(other)
+        if content is None:
+            return NotImplemented
+        return self.materialize() <= content
+
+    def __gt__(self, other) -> bool:
+        content = self._content_of(other)
+        if content is None:
+            return NotImplemented
+        return self.materialize() > content
+
+    def __ge__(self, other) -> bool:
+        content = self._content_of(other)
+        if content is None:
+            return NotImplemented
+        return self.materialize() >= content
+
+    def __hash__(self) -> int:
+        # Content hash, consistent with content equality (incl. vs bytes).
+        return hash(self.materialize())
+
+    def __repr__(self) -> str:
+        return (
+            f"CrashImage(size={len(self)}, overlay={len(self.writes)} "
+            f"range(s), materialized={self._mat is not None})"
+        )
