@@ -18,7 +18,18 @@ Commands
 ``stats``
     Render a campaign summary from one or more JSONL traces written with
     ``--trace`` (multiple files merge — e.g. a parallel campaign's
-    per-worker traces); ``--json`` emits the same aggregates as JSON.
+    per-worker traces), or directly from a campaign directory (the merged
+    ``trace.jsonl`` / per-worker traces are auto-discovered); ``--json``
+    emits the same aggregates as JSON.
+``coverage``
+    Exploration-coverage analytics: in-flight window CDFs, fence/store
+    histograms, persistence-mechanism breakdowns, memo-miss attribution,
+    and recovery-read redundancy, from a campaign directory (journal) or
+    trace files; ``--out`` writes the markdown report to a file.
+``watch``
+    Live dashboard for a running campaign directory: progress, throughput,
+    ETA, per-worker liveness, memo hit-rate, bugs so far.  Exits when the
+    campaign completes (``--once`` renders a single frame).
 ``explain``
     Offline bug forensics: rebuild the crash state of a saved report
     (``--save-reports`` / a campaign's ``bugs.json``), confirm it still
@@ -47,7 +58,9 @@ Examples
     python -m repro campaign nova --workers 4 --seq 2 --out /tmp/camp
     python -m repro campaign --resume /tmp/camp --workers 4
     python -m repro stats /tmp/t.jsonl --chrome /tmp/t.chrome.json
-    python -m repro stats /tmp/camp/worker-*.trace.jsonl
+    python -m repro stats /tmp/camp
+    python -m repro coverage /tmp/camp --out /tmp/camp/coverage.md
+    python -m repro watch /tmp/camp --interval 2
     python -m repro ace nova --seq 2 --save-reports /tmp/bugs.json
     python -m repro explain /tmp/bugs.json --minimize --chrome /tmp/bug.trace
 """
@@ -334,8 +347,43 @@ def cmd_campaign(args) -> int:
     return 1 if merged.clusters else 0
 
 
+def _expand_stats_targets(targets: List[str]) -> List[str]:
+    """Expand campaign directories among stats targets into trace files.
+
+    Prefers the merged ``trace.jsonl``; falls back to per-worker traces
+    (an interrupted campaign has not merged yet).  Raises ``ValueError``
+    with a hint when a directory holds no traces at all.
+    """
+    import glob as _glob
+
+    traces: List[str] = []
+    for target in targets:
+        if not os.path.isdir(target):
+            traces.append(target)
+            continue
+        merged = os.path.join(target, "trace.jsonl")
+        if os.path.exists(merged):
+            traces.append(merged)
+            continue
+        workers = sorted(_glob.glob(
+            os.path.join(target, "worker-*.trace.jsonl")
+        ))
+        if not workers:
+            raise ValueError(
+                f"no telemetry traces in {target!r} — run the campaign "
+                f"with --trace (expected trace.jsonl or "
+                f"worker-*.trace.jsonl)"
+            )
+        traces.extend(workers)
+    return traces
+
+
 def cmd_stats(args) -> int:
-    traces: List[str] = args.traces
+    try:
+        traces: List[str] = _expand_stats_targets(args.traces)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         stats = CampaignStats.from_traces(traces)
     except OSError as exc:
@@ -359,6 +407,77 @@ def cmd_stats(args) -> int:
         n = jsonl_to_chrome(traces[0], args.chrome)
         print(f"\nwrote {n} Chrome trace event(s) to {args.chrome}")
     return 0
+
+
+def cmd_coverage(args) -> int:
+    from repro.obs.coverage import (
+        coverage_from_campaign_dir,
+        coverage_from_traces,
+    )
+
+    targets: List[str] = args.target
+    try:
+        if len(targets) == 1 and os.path.isdir(targets[0]):
+            campaign_dir = targets[0]
+            if not os.path.exists(os.path.join(campaign_dir, "journal.jsonl")):
+                print(
+                    f"error: no journal.jsonl in {campaign_dir!r} "
+                    f"(not a campaign directory?)",
+                    file=sys.stderr,
+                )
+                return 2
+            report = coverage_from_campaign_dir(campaign_dir)
+        else:
+            for target in targets:
+                if os.path.isdir(target):
+                    print(
+                        "error: mixing campaign directories and trace files "
+                        "is not supported — pass one directory, or only "
+                        "trace files",
+                        file=sys.stderr,
+                    )
+                    return 2
+            report = coverage_from_traces(targets)
+    except OSError as exc:
+        print(f"error: cannot read coverage input: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        print(f"error: not a JSONL telemetry trace: {exc}", file=sys.stderr)
+        return 2
+    if not report.workloads:
+        print("error: no workload results found in the input(s)",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json_dict(), sort_keys=True, indent=2))
+        return 0
+    markdown = report.render_markdown()
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(markdown)
+        except OSError as exc:
+            print(f"error: cannot write {args.out!r}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"[coverage] wrote {args.out} "
+              f"({report.workloads} workload(s), "
+              f"{report.states_checked} checked state(s))")
+    else:
+        print(markdown)
+    return 0
+
+
+def cmd_watch(args) -> int:
+    from repro.campaign.watch import watch
+
+    return watch(
+        args.dir,
+        interval=args.interval,
+        once=args.once,
+        timeout=args.timeout,
+    )
 
 
 def cmd_explain(args) -> int:
@@ -607,12 +726,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "merged trace.jsonl into the campaign directory")
 
     p_stats = sub.add_parser(
-        "stats", help="render a campaign summary from JSONL trace(s)"
+        "stats",
+        help="render a campaign summary from JSONL trace(s) or a campaign "
+        "directory",
     )
     p_stats.add_argument(
         "traces", nargs="+", metavar="trace",
-        help="trace file(s) written with --trace; multiple files merge "
-        "(e.g. a parallel campaign's per-worker traces)",
+        help="trace file(s) written with --trace, or a campaign directory "
+        "(auto-discovers trace.jsonl / worker-*.trace.jsonl); multiple "
+        "files merge",
     )
     p_stats.add_argument(
         "--chrome",
@@ -624,6 +746,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the campaign aggregates as JSON instead of tables",
+    )
+
+    p_cov = sub.add_parser(
+        "coverage",
+        help="exploration-coverage analytics (window CDFs, store "
+        "breakdowns, memo-miss attribution) from a campaign dir or traces",
+    )
+    p_cov.add_argument(
+        "target", nargs="+", metavar="TARGET",
+        help="a campaign directory (reads its checkpoint journal) or one "
+        "or more --trace JSONL files",
+    )
+    p_cov.add_argument(
+        "--out", metavar="FILE",
+        help="write the markdown report to FILE instead of stdout",
+    )
+    p_cov.add_argument(
+        "--json", action="store_true",
+        help="emit the aggregates as JSON instead of markdown",
+    )
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="live dashboard for a running campaign directory",
+    )
+    p_watch.add_argument(
+        "dir", metavar="CAMPAIGN_DIR",
+        help="campaign directory (the one passed to `campaign --out`)",
+    )
+    p_watch.add_argument(
+        "--interval", type=float, default=1.0,
+        help="poll interval in seconds (default 1)",
+    )
+    p_watch.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (for scripts and tests)",
+    )
+    p_watch.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up (exit 3) after this many seconds without completion",
     )
 
     p_explain = sub.add_parser(
@@ -692,6 +854,8 @@ def main(argv=None) -> int:
         "fuzz": cmd_fuzz,
         "campaign": cmd_campaign,
         "stats": cmd_stats,
+        "coverage": cmd_coverage,
+        "watch": cmd_watch,
         "explain": cmd_explain,
     }
     try:

@@ -29,6 +29,12 @@ class CampaignSummary:
     #: Check-memoization counters (``checker.memo.*``) summed over workloads.
     memo_hits: int = 0
     memo_misses: int = 0
+    memo_noop_dropped: int = 0
+    #: ``checker.memo.miss.{reason}`` attribution, summed over workloads.
+    memo_miss_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Distinct recovered-outcome digests summed over workloads — the
+    #: WITCHER output-equivalence pruning headroom denominator.
+    unique_outcomes: int = 0
     #: Provenance-guided triage by default: reports carrying a culprit site
     #: set cluster by (fs, consequence, sites) — one bug seen through
     #: different syscalls merges — and the rest fall back to the lexical
@@ -47,6 +53,12 @@ class CampaignSummary:
         self.wall_time += result.elapsed
         self.memo_hits += getattr(result, "memo_hits", 0)
         self.memo_misses += getattr(result, "memo_misses", 0)
+        self.memo_noop_dropped += getattr(result, "memo_noop_dropped", 0)
+        for reason, n in getattr(result, "memo_miss_reasons", {}).items():
+            self.memo_miss_reasons[reason] = (
+                self.memo_miss_reasons.get(reason, 0) + n
+            )
+        self.unique_outcomes += getattr(result, "n_unique_outcomes", 0)
         if getattr(result, "truncated", False):
             self.truncated_workloads += 1
         for stage, dt in getattr(result, "stage_times", {}).items():
@@ -90,17 +102,36 @@ def _telemetry_section(summary: CampaignSummary) -> List[str]:
         lines.append(f"- **dedup hit-rate:** {rate * 100:.1f}%")
     memo_total = summary.memo_hits + summary.memo_misses
     if memo_total:
+        noop = (
+            f"; {summary.memo_noop_dropped} no-op write(s) dropped"
+            if summary.memo_noop_dropped else ""
+        )
         lines.append(
             f"- **check memo hit-rate:** "
             f"{summary.memo_hits / memo_total * 100:.1f}% "
             f"({summary.memo_hits} hit(s), {summary.memo_misses} miss(es); "
-            f"`checker.memo.*`)"
+            f"`checker.memo.*`{noop})"
+        )
+    if summary.memo_miss_reasons:
+        parts = ", ".join(
+            f"`{reason}` {n}"
+            for reason, n in sorted(
+                summary.memo_miss_reasons.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        )
+        lines.append(f"- **memo misses by reason:** {parts}")
+    if summary.unique_states and summary.unique_outcomes:
+        headroom = 1.0 - summary.unique_outcomes / summary.unique_states
+        lines.append(
+            f"- **recovered outcomes:** {summary.unique_outcomes} distinct of "
+            f"{summary.unique_states} checked "
+            f"({headroom * 100:.1f}% output-equivalence pruning headroom)"
         )
     lines.append("")
     lines.append("| stage | total (ms) | share |")
     lines.append("| --- | ---: | ---: |")
     total = sum(summary.stage_totals.values()) or 1.0
-    for stage in ("record", "oracle", "enumerate", "check", "triage"):
+    for stage in ("record", "oracle", "enumerate", "check", "triage", "analyze"):
         if stage in summary.stage_totals:
             dt = summary.stage_totals[stage]
             lines.append(

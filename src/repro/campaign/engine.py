@@ -364,13 +364,19 @@ class CampaignEngine:
             queue.requeue([item])
 
     def _remove_worker_results_files(self) -> None:
-        """The journal subsumes the per-worker durable copies once done."""
+        """The journal subsumes the per-worker durable copies once done.
+
+        Heartbeat beacons go too: a completed campaign has no liveness to
+        monitor, and stale beacons would confuse a later ``repro watch``.
+        """
         try:
             names = os.listdir(self.campaign_dir)
         except OSError:
             return
         for name in names:
-            if name.startswith("worker-") and name.endswith(".results.jsonl"):
+            if name.startswith("worker-") and (
+                name.endswith(".results.jsonl") or name.endswith(".hb")
+            ):
                 try:
                     os.remove(os.path.join(self.campaign_dir, name))
                 except OSError:

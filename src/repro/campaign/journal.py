@@ -9,6 +9,10 @@ Record types (one JSON object per line)::
      "error": "..."}
     {"type": "campaign_done", "elapsed": ...}
 
+Every record additionally carries ``"t"``, a wall-clock timestamp stamped
+centrally on append; ``python -m repro watch`` derives throughput and ETA
+from the ``item_done`` stamps.  Replay tolerates records without it.
+
 Every record is flushed and fsync'd on append, so a SIGKILL at any point
 loses at most the in-flight (unjournaled) workloads — exactly the ones
 ``--resume`` is allowed to re-run.  A torn final line (the kill landed
@@ -26,6 +30,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -44,6 +49,11 @@ class JournalState:
     quarantined: Dict[str, dict] = field(default_factory=dict)
     completed_marker: bool = False
     torn_lines: int = 0
+    #: item id -> wall-clock journal-append time (``repro watch`` derives
+    #: throughput and ETA from these).
+    times: Dict[str, float] = field(default_factory=dict)
+    started_t: Optional[float] = None
+    finished_t: Optional[float] = None
 
     @property
     def done_ids(self) -> set:
@@ -74,6 +84,9 @@ class CheckpointJournal:
     def _append(self, record: Dict[str, object]) -> None:
         if self._fh is None:
             raise RuntimeError("journal is not open")
+        # Stamp every record centrally so the monitor can derive progress
+        # rates without the writers having to care about time at all.
+        record.setdefault("t", round(time.time(), 3))
         self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
         # Flush + fsync per record: the journal is the campaign's crash
         # consistency, so it gets the durability the tested file systems
@@ -128,13 +141,18 @@ class CheckpointJournal:
                     state.torn_lines += 1
                     continue
                 kind = record.get("type")
+                stamp = record.get("t")
                 if kind == "campaign_meta":
                     state.spec_dict = dict(record.get("spec", {}))
                     state.n_items = record.get("n_items")
+                    if stamp is not None:
+                        state.started_t = float(stamp)
                 elif kind == "item_done":
                     item_id = str(record.get("id"))
                     state.results[item_id] = list(record.get("results", []))
                     state.ordinals[item_id] = int(record.get("ordinal", 0))
+                    if stamp is not None:
+                        state.times[item_id] = float(stamp)
                     # A resume may legitimately re-complete an item that was
                     # in flight at kill time; last write wins.
                     state.quarantined.pop(item_id, None)
@@ -143,6 +161,10 @@ class CheckpointJournal:
                     if item_id not in state.results:
                         state.quarantined[item_id] = record
                         state.ordinals[item_id] = int(record.get("ordinal", 0))
+                        if stamp is not None:
+                            state.times[item_id] = float(stamp)
                 elif kind == "campaign_done":
                     state.completed_marker = True
+                    if stamp is not None:
+                        state.finished_t = float(stamp)
         return state

@@ -32,6 +32,7 @@ from repro.analysis.reporting import CampaignSummary, render_markdown
 from repro.campaign.queue import WorkItem
 from repro.campaign.spec import CampaignSpec
 from repro.core.harness import TestResult
+from repro.obs.coverage import coverage_from_results
 from repro.obs.tracing import read_jsonl, write_jsonl
 
 
@@ -133,6 +134,22 @@ def merge_campaign(
         report_path = os.path.join(campaign_dir, "report.md")
         with open(report_path, "w", encoding="utf-8") as fh:
             fh.write(merged.render_markdown())
+        # Exploration-coverage analytics next to the findings report: the
+        # same ordinal-ordered result dicts, viewed as distributions
+        # (window CDFs, store breakdowns, memo-miss attribution).
+        coverage = coverage_from_results(
+            (
+                result_dict
+                for item in sorted(items, key=lambda i: i.ordinal)
+                for result_dict in results.get(item.item_id, ())
+            ),
+            fs=spec.fs,
+            generator=spec.generator,
+            meta={"seq": spec.seq} if spec.generator == "ace" else None,
+        )
+        with open(os.path.join(campaign_dir, "coverage.md"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(coverage.render_markdown())
         # One exemplar per triaged cluster, with provenance, in the
         # `--save-reports` shape — `python -m repro explain
         # DIR/bugs.json --index N` drives the forensic pass offline.

@@ -80,6 +80,23 @@ def _append_result(fh, item_id: str, results: List[dict]) -> None:
     os.fsync(fh.fileno())
 
 
+def _write_heartbeat(path: str, wid: int, item_id: Optional[str]) -> None:
+    """Overwrite the worker's liveness beacon (best-effort, no fsync).
+
+    ``repro watch`` reads these to tell a worker grinding through a slow
+    workload from one that is wedged.  Liveness is advisory — losing a
+    beacon to a crash costs nothing, so unlike the results file this is
+    deliberately not durable.
+    """
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(
+                {"worker": wid, "item": item_id, "t": round(time.time(), 3)}
+            ))
+    except OSError:
+        pass
+
+
 def _run_item(chipmunk, spec: CampaignSpec, item: WorkItem) -> List[dict]:
     """Execute one work item, returning serialized per-workload results."""
     if item.kind == "ace":
@@ -118,7 +135,9 @@ def worker_main(
     results_path = os.path.join(
         campaign_dir, f"worker-{run_tag}-{wid}.results.jsonl"
     )
+    hb_path = os.path.join(campaign_dir, f"worker-{run_tag}-{wid}.hb")
     results_fh = open(results_path, "a", encoding="utf-8")
+    _write_heartbeat(hb_path, wid, None)
     result_q.put((MSG_READY, wid))
     while True:
         try:
@@ -133,6 +152,7 @@ def worker_main(
             break
         batch = [WorkItem.from_dict(d) for d in message[1]]
         for item in batch:
+            _write_heartbeat(hb_path, wid, item.item_id)
             kind = _fault_fires(fault, item, campaign_dir)
             if kind == "crash":
                 os._exit(41)
@@ -150,6 +170,7 @@ def worker_main(
             else:
                 _append_result(results_fh, item.item_id, results)
                 result_q.put((MSG_RESULT, wid, item.item_id, results))
+        _write_heartbeat(hb_path, wid, None)
         result_q.put((MSG_BATCH_DONE, wid))
     if telemetry is not None:
         telemetry.event("worker_stop", worker=wid)

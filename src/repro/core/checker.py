@@ -27,6 +27,7 @@ from repro.core.oracle import OracleResult, TreeState
 from repro.core.replayer import CrashState
 from repro.core.report import BugReport, Consequence, diff_trees
 from repro.fs.common.alloc import AllocatorError
+from repro.obs.attribution import MemoAttribution
 from repro.obs.metrics import CacheCounters
 from repro.pm.device import PMDevice, PMDeviceError
 from repro.pm.image import CrashImage, FenceBase
@@ -73,6 +74,13 @@ class ConsistencyChecker:
         # arrive consecutively, so a single-entry cache hits every time).
         self._mount_base: Optional[FenceBase] = None
         self._mount_device: Optional[PMDevice] = None
+        #: Digests of every distinct *recovered observable outcome* seen —
+        #: the post-recovery tree (or an unmountable/unreadable marker) per
+        #: checked state.  ``len(outcome_digests) / states checked`` is the
+        #: measured headroom for WITCHER-style output-equivalence pruning:
+        #: two crash states recovering to the same tree under the same
+        #: oracle can only ever yield the same verdict.
+        self.outcome_digests: set = set()
 
     # ------------------------------------------------------------------
     def check(self, state: CrashState) -> List[BugReport]:
@@ -118,8 +126,12 @@ class ConsistencyChecker:
         try:
             fs = self.fs_class.mount(device, bugs=self.bugs)
         except MountError as exc:
+            self._note_outcome(b"<unmountable>" + str(exc).encode())
             return [self._report(state, Consequence.UNMOUNTABLE, str(exc))]
         except (PMDeviceError, AllocatorError) as exc:
+            self._note_outcome(
+                b"<mount-crash>" + type(exc).__name__.encode()
+            )
             return [
                 self._report(
                     state,
@@ -133,11 +145,31 @@ class ConsistencyChecker:
         except FsError as exc:
             reports.append(self._report(state, Consequence.UNREADABLE, str(exc)))
             crash_tree = None
-        if crash_tree is not None:
+        if crash_tree is None:
+            self._note_outcome(b"<unreadable>")
+        else:
+            self._note_outcome(self._tree_digest(crash_tree))
             reports.extend(self._check_semantics(state, crash_tree))
             if self.config.usability_check:
                 reports.extend(self._check_usability(state, fs, crash_tree))
         return reports
+
+    # ------------------------------------------------------------------
+    # Recovered-outcome tracking (equivalence-pruning headroom)
+    # ------------------------------------------------------------------
+    def _note_outcome(self, material: bytes) -> None:
+        self.outcome_digests.add(hashlib.sha1(material).digest())
+
+    @staticmethod
+    def _tree_digest(crash_tree: TreeState) -> bytes:
+        """Stable digest of the recovered observable tree."""
+        h = hashlib.sha1()
+        for path in sorted(crash_tree):
+            h.update(path.encode())
+            h.update(b"\x00")
+            h.update(repr(crash_tree[path]).encode())
+            h.update(b"\x01")
+        return b"<tree>" + h.digest()
 
     # ------------------------------------------------------------------
     # Semantic comparison
@@ -362,6 +394,14 @@ class CheckMemo:
     :meth:`check` returns ``None`` on a memo hit (the state was already
     checked; any findings are already in the caller's hands) and the
     checker's report list on a miss.
+
+    Every miss is classified by a :class:`~repro.obs.attribution.MemoAttribution`
+    (cold base / overlay shape / no-op perturbation / syscall context /
+    new content — the reason counts sum exactly to :attr:`misses`), and
+    overlay writes the digest dropped as no-ops are tallied in
+    :attr:`noop_writes_dropped`.  With telemetry attached both surface as
+    registry counters: ``checker.memo.miss.{reason}`` and
+    ``checker.memo.noop_writes_dropped``.
     """
 
     def __init__(self, checker: ConsistencyChecker, telemetry=None,
@@ -372,6 +412,11 @@ class CheckMemo:
         #: Per-memo hit/miss counts (one memo per workload).
         self.hits = 0
         self.misses = 0
+        #: Overlay writes dropped before digesting because they were
+        #: byte-equal to the base (summed over every state keyed).
+        self.noop_writes_dropped = 0
+        #: Miss classifier; its reason counts always sum to :attr:`misses`.
+        self.attribution = MemoAttribution()
         # Registry-backed counters accumulate campaign-wide under
         # ``checker.memo.*`` when telemetry is attached.
         self._counters = (
@@ -398,6 +443,12 @@ class CheckMemo:
 
     def check(self, state: CrashState) -> Optional[List[BugReport]]:
         key = self.key_of(state)
+        if self.delta and isinstance(state.image, CrashImage):
+            dropped = state.image.noop_dropped
+            if dropped:
+                self.noop_writes_dropped += dropped
+                if self._tel is not None:
+                    self._tel.count("checker.memo.noop_writes_dropped", dropped)
         if key in self._seen:
             self.hits += 1
             if self._counters is not None:
@@ -405,8 +456,11 @@ class CheckMemo:
             return None
         self._seen.add(key)
         self.misses += 1
+        reason = self.attribution.classify_miss(state, key[0])
         if self._counters is not None:
             self._counters.miss()
+        if self._tel is not None:
+            self._tel.count("checker.memo.miss." + reason)
         if self._tel is not None:
             with self._tel.span(
                 "check_state",

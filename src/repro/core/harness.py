@@ -15,9 +15,15 @@ from typing import Dict, List, Optional, Type, Union
 from repro.core.checker import CheckerConfig, CheckMemo, ConsistencyChecker
 from repro.core.oracle import run_oracle
 from repro.core.probes import ProbeSet, probe_targets_of
-from repro.core.replayer import ReplayStats, enumerate_crash_states, inflight_histogram
+from repro.core.replayer import (
+    ReplayStats,
+    enumerate_crash_states,
+    inflight_histogram,
+    persistence_breakdown,
+    store_region_counts,
+)
 from repro.core.report import BugReport
-from repro.core.triage import Cluster, triage_reports
+from repro.core.triage import Cluster, layout_map_for, triage_reports
 from repro.fs.bugs import BugConfig
 from repro.fs.registry import fs_class as lookup_fs_class
 from repro.obs import NULL
@@ -56,7 +62,13 @@ class ChipmunkConfig:
 
 
 #: Pipeline stage keys of :attr:`TestResult.stage_times`, in execution order.
-STAGES = ("record", "oracle", "enumerate", "check", "triage")
+#: ``analyze`` is the post-check analytics pass (persistence breakdowns,
+#: recovery-read overlap) feeding ``repro coverage``.
+STAGES = ("record", "oracle", "enumerate", "check", "triage", "analyze")
+
+#: Cache-line granularity of the recovery-read overlap estimate, matching
+#: :func:`repro.core.recovery_reads.recovery_read_set`.
+RECOVERY_LINE = 64
 
 
 @dataclass
@@ -84,6 +96,25 @@ class TestResult:
     #: because a byte-identical image was already checked / states checked.
     memo_hits: int = 0
     memo_misses: int = 0
+    #: Memo-miss attribution: reason -> count (``checker.memo.miss.*``).
+    #: Values sum exactly to :attr:`memo_misses`.
+    memo_miss_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Top colliding content keys: ``[content_key_hex, n_shapes]`` pairs —
+    #: byte-identical contents checked under multiple overlay shapes.
+    memo_collisions: List[List[object]] = field(default_factory=list)
+    #: Overlay writes dropped as no-ops before digesting
+    #: (``checker.memo.noop_writes_dropped``).
+    memo_noop_dropped: int = 0
+    #: Distinct recovered observable outcomes among the checked states —
+    #: the numerator of the output-equivalence pruning headroom.
+    n_unique_outcomes: int = 0
+    #: Persistence-function mix: func -> {stores, flushes, fences, bytes}.
+    persistence: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Write traffic per layout region: region -> {writes, bytes}.
+    store_regions: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Recovery-read overlap on the final persistent image
+    #: ({read_lines, store_lines, overlap_lines}, 64-byte cache lines).
+    recovery_overlap: Dict[str, int] = field(default_factory=dict)
 
     @property
     def buggy(self) -> bool:
@@ -134,6 +165,13 @@ class TestResult:
             "truncated": self.truncated,
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
+            "memo_miss_reasons": dict(self.memo_miss_reasons),
+            "memo_collisions": [list(c) for c in self.memo_collisions],
+            "memo_noop_dropped": self.memo_noop_dropped,
+            "n_unique_outcomes": self.n_unique_outcomes,
+            "persistence": {k: dict(v) for k, v in self.persistence.items()},
+            "store_regions": {k: dict(v) for k, v in self.store_regions.items()},
+            "recovery_overlap": dict(self.recovery_overlap),
         }
 
     @classmethod
@@ -160,6 +198,28 @@ class TestResult:
             truncated=bool(data.get("truncated", False)),
             memo_hits=int(data.get("memo_hits", 0)),
             memo_misses=int(data.get("memo_misses", 0)),
+            memo_miss_reasons={
+                str(k): int(v)
+                for k, v in dict(data.get("memo_miss_reasons", {})).items()
+            },
+            memo_collisions=[
+                [str(c[0]), int(c[1])]
+                for c in list(data.get("memo_collisions", []))
+            ],
+            memo_noop_dropped=int(data.get("memo_noop_dropped", 0)),
+            n_unique_outcomes=int(data.get("n_unique_outcomes", 0)),
+            persistence={
+                str(k): {str(kk): int(vv) for kk, vv in dict(v).items()}
+                for k, v in dict(data.get("persistence", {})).items()
+            },
+            store_regions={
+                str(k): {str(kk): int(vv) for kk, vv in dict(v).items()}
+                for k, v in dict(data.get("store_regions", {})).items()
+            },
+            recovery_overlap={
+                str(k): int(v)
+                for k, v in dict(data.get("recovery_overlap", {})).items()
+            },
         )
 
 
@@ -325,6 +385,17 @@ class Chipmunk:
         with tel.span("triage") as sp:
             clusters = triage_reports(reports)
         stage_times["triage"] = sp.duration
+        with tel.span("analyze") as sp:
+            persistence = persistence_breakdown(log)
+            try:
+                layout = layout_map_for(
+                    self.fs_class.name, self.config.device_size
+                )
+                store_regions = store_region_counts(log, layout)
+            except Exception:  # noqa: BLE001 — analytics never sink a run
+                store_regions = {}
+            recovery_overlap = self._recovery_overlap(base, log)
+        stage_times["analyze"] = sp.duration
         result = TestResult(
             workload_desc=desc,
             reports=reports,
@@ -340,10 +411,49 @@ class Chipmunk:
             truncated=truncated,
             memo_hits=memo.hits,
             memo_misses=memo.misses,
+            memo_miss_reasons=dict(memo.attribution.reasons),
+            memo_collisions=[
+                [key, count] for key, count in memo.attribution.top_collisions()
+            ],
+            memo_noop_dropped=memo.noop_writes_dropped,
+            n_unique_outcomes=len(checker.outcome_digests),
+            persistence=persistence,
+            store_regions=store_regions,
+            recovery_overlap=recovery_overlap,
         )
         if tel.enabled:
             self._emit_result(tel, result)
         return result
+
+    def _recovery_overlap(self, base: bytes, log: PMLog) -> Dict[str, int]:
+        """Recovery-read overlap with the workload's write set.
+
+        Mounts the final persistent image on a read-tracking device
+        (:func:`repro.core.recovery_reads.recovery_read_set`) and intersects
+        the cache lines recovery reads with the lines the workload stored.
+        A large never-read remainder is the Vinter-heuristic redundancy the
+        coverage report surfaces: in-flight writes recovery does not even
+        look at rarely change a verdict.
+        """
+        from repro.core.recovery_reads import recovery_read_set
+
+        buf = bytearray(base)
+        store_lines: set = set()
+        for entry in log.writes():
+            data = entry.data
+            buf[entry.addr : entry.addr + len(data)] = data
+            first = entry.addr // RECOVERY_LINE
+            last = (entry.addr + max(len(data), 1) - 1) // RECOVERY_LINE
+            store_lines.update(range(first, last + 1))
+        read_lines = recovery_read_set(
+            self.fs_class, bytes(buf), bugs=self.bugs,
+            granularity=RECOVERY_LINE,
+        )
+        return {
+            "read_lines": len(read_lines),
+            "store_lines": len(store_lines),
+            "overlap_lines": len(read_lines & store_lines),
+        }
 
     def _emit_result(self, tel, result: TestResult) -> None:
         """Counters plus the ``workload_result`` trace event that
@@ -372,6 +482,13 @@ class Chipmunk:
             truncated=result.truncated,
             memo_hits=result.memo_hits,
             memo_misses=result.memo_misses,
+            memo_miss_reasons=result.memo_miss_reasons,
+            memo_collisions=result.memo_collisions,
+            memo_noop_dropped=result.memo_noop_dropped,
+            n_unique_outcomes=result.n_unique_outcomes,
+            persistence=result.persistence,
+            store_regions=result.store_regions,
+            recovery_overlap=result.recovery_overlap,
             outcomes=outcomes,
             inflight=result.inflight,
         )

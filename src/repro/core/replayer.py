@@ -348,6 +348,54 @@ def enumerate_crash_states(
         )
 
 
+def persistence_breakdown(log: PMLog) -> Dict[str, Dict[str, int]]:
+    """Per persistence-function mix of stores, flushes, fences, and bytes.
+
+    One O(log) walk, same shape as :func:`inflight_histogram`: keyed by the
+    probed persistence function name (``memcpy_to_pmem_nocache``,
+    ``nova_flush_buffer``, …), so the coverage report can show *which
+    persistence mechanisms* a file system leans on — the per-mechanism
+    store breakdown the mechanism-aware pruning follow-up starts from.
+    """
+    out: Dict[str, Dict[str, int]] = {}
+    for entry in log:
+        if isinstance(entry, NTStore):
+            kind = "stores"
+        elif isinstance(entry, Flush):
+            kind = "flushes"
+        elif isinstance(entry, Fence):
+            kind = "fences"
+        else:
+            continue
+        bucket = out.setdefault(
+            entry.func, {"stores": 0, "flushes": 0, "fences": 0, "bytes": 0}
+        )
+        bucket[kind] += 1
+        if kind != "fences":
+            bucket["bytes"] += len(entry.data)
+    return out
+
+
+def store_region_counts(log: PMLog, layout) -> Dict[str, Dict[str, int]]:
+    """Write traffic per on-device layout region.
+
+    ``layout`` is a :class:`repro.fs.common.layout.LayoutMap` (duck-typed:
+    only ``region_of`` is used) — normally the memoized mkfs-fresh map from
+    :func:`repro.core.triage.layout_map_for`.  Each store/flush is charged
+    to the region containing its start address, which is exact for this
+    codebase's probes (persistence functions never straddle regions).
+    """
+    out: Dict[str, Dict[str, int]] = {}
+    for entry in log:
+        if not isinstance(entry, (NTStore, Flush)):
+            continue
+        region = layout.region_of(entry.addr)
+        bucket = out.setdefault(region, {"writes": 0, "bytes": 0})
+        bucket["writes"] += 1
+        bucket["bytes"] += len(entry.data)
+    return out
+
+
 def inflight_histogram(log: PMLog, threshold: int = DATA_WRITE_THRESHOLD) -> Dict[str, List[int]]:
     """Per-syscall in-flight write-unit counts at each fence.
 

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.obs.tracing import read_jsonl
 
 #: Pipeline stages in display order.
-STAGES = ("record", "oracle", "enumerate", "check", "triage")
+STAGES = ("record", "oracle", "enumerate", "check", "triage", "analyze")
 
 
 @dataclass(frozen=True)
@@ -73,6 +73,16 @@ class CampaignStats:
     #: because a byte-identical image was already checked / states checked.
     n_memo_hits: int = 0
     n_memo_misses: int = 0
+    #: Memo-miss attribution (``checker.memo.miss.*``): reason -> count,
+    #: summing exactly to :attr:`n_memo_misses` when every result carries
+    #: attribution data.
+    memo_miss_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Overlay writes dropped as no-ops before digesting
+    #: (``checker.memo.noop_writes_dropped``).
+    n_memo_noop_dropped: int = 0
+    #: Distinct recovered outcomes among checked states (summed per
+    #: workload — outcomes are not deduplicated across workloads).
+    n_unique_outcomes: int = 0
     wall_time: float = 0.0
     stage_totals: Dict[str, float] = field(default_factory=dict)
     outcome_counts: Dict[str, int] = field(default_factory=dict)
@@ -97,6 +107,12 @@ class CampaignStats:
         self.n_reports += len(result.reports)
         self.n_memo_hits += getattr(result, "memo_hits", 0)
         self.n_memo_misses += getattr(result, "memo_misses", 0)
+        self.n_memo_noop_dropped += getattr(result, "memo_noop_dropped", 0)
+        self.n_unique_outcomes += getattr(result, "n_unique_outcomes", 0)
+        for reason, n in getattr(result, "memo_miss_reasons", {}).items():
+            self.memo_miss_reasons[reason] = (
+                self.memo_miss_reasons.get(reason, 0) + n
+            )
         self.wall_time += result.elapsed
         if getattr(result, "truncated", False):
             self.n_truncated += 1
@@ -211,6 +227,12 @@ class CampaignStats:
         self.n_reports += int(fields.get("n_reports", 0))
         self.n_memo_hits += int(fields.get("memo_hits", 0))
         self.n_memo_misses += int(fields.get("memo_misses", 0))
+        self.n_memo_noop_dropped += int(fields.get("memo_noop_dropped", 0))
+        self.n_unique_outcomes += int(fields.get("n_unique_outcomes", 0))
+        for reason, n in dict(fields.get("memo_miss_reasons", {})).items():
+            self.memo_miss_reasons[str(reason)] = (
+                self.memo_miss_reasons.get(str(reason), 0) + int(n)
+            )
         self.wall_time += float(fields.get("elapsed", 0.0))
         if fields.get("truncated"):
             self.n_truncated += 1
@@ -248,6 +270,9 @@ class CampaignStats:
             "memo_hits": self.n_memo_hits,
             "memo_misses": self.n_memo_misses,
             "memo_hit_rate": self.memo_hit_rate,
+            "memo_miss_reasons": dict(self.memo_miss_reasons),
+            "memo_noop_writes_dropped": self.n_memo_noop_dropped,
+            "unique_outcomes": self.n_unique_outcomes,
             "fences": self.n_fences,
             "reports": self.n_reports,
             "wall_time": self.wall_time,
@@ -293,10 +318,27 @@ class CampaignStats:
             f"fences: {self.n_fences}   reports: {self.n_reports}"
         )
         if self.n_memo_hits or self.n_memo_misses:
-            lines.append(
+            line = (
                 f"check memo (checker.memo.*): {self.n_memo_hits} hit(s), "
                 f"{self.n_memo_misses} miss(es) "
                 f"(hit-rate {self.memo_hit_rate * 100:.1f}%)"
+            )
+            if self.n_memo_noop_dropped:
+                line += f"; {self.n_memo_noop_dropped} no-op write(s) dropped"
+            lines.append(line)
+        if self.memo_miss_reasons:
+            ordered = sorted(
+                self.memo_miss_reasons.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            lines.append(
+                "memo misses by reason: "
+                + ", ".join(f"{reason} {n}" for reason, n in ordered)
+            )
+        if self.n_unique_outcomes and self.n_memo_misses:
+            lines.append(
+                f"recovered outcomes: {self.n_unique_outcomes} distinct of "
+                f"{self.n_memo_misses} checked (equivalence-pruning headroom "
+                f"{(1 - self.n_unique_outcomes / self.n_memo_misses) * 100:.1f}%)"
             )
         lines.append("")
         lines.append("Per-stage timings")

@@ -17,14 +17,22 @@ replayed byte ranges.  This module holds the lazy representation:
   region costs O(bytes written since the last fence), not O(device).
 
 The content address of a crash state is
-``sha1(base.digest ‖ (addr, len, payload) per replayed range)``.  Digest
-equality therefore implies byte-identical images (two states with the same
-base content and the same overlay cannot differ), which is the direction
-check memoization needs: a memo hit can never skip a state that might have
-checked differently.  The converse does not hold — an overlay that happens
-to rewrite base bytes with identical content yields a distinct digest for
-an identical image — so memoization may rarely re-check a duplicate, which
-costs time but can never mask a bug.
+``sha1(base.digest ‖ (addr, len, payload) per effective replayed range)``.
+*Effective* ranges are the overlay after dropping no-op writes: a write
+whose payload is byte-equal to the base slice it covers, and which overlaps
+no earlier kept write, cannot change the materialized image — replaying an
+idempotent store is indistinguishable from losing it.  (The overlap guard
+matters because later writes win: a base-equal write layered over an
+earlier *kept* write would undo it, so it is not a no-op and is kept.)
+Digest equality therefore implies byte-identical images, which is the
+direction check memoization needs: a memo hit can never skip a state that
+might have checked differently.  The converse still does not fully hold —
+partial or overlapping rewrites of base content survive canonicalization
+and yield distinct digests for identical images — so memoization may
+rarely re-check a duplicate, which costs time but can never mask a bug.
+:func:`flatten_overlay` computes the exact byte-level diff from base
+(:mod:`repro.obs.attribution` uses it to measure how often that residual
+case actually bites).
 """
 
 from __future__ import annotations
@@ -40,6 +48,35 @@ CHUNK = 16 * 1024
 
 #: One overlay range: (device address, payload bytes).
 OverlayWrite = Tuple[int, bytes]
+
+
+def flatten_overlay(
+    base: bytes, writes: Sequence[OverlayWrite]
+) -> Tuple[OverlayWrite, ...]:
+    """The exact byte-level diff from ``base`` after applying ``writes``.
+
+    Flattens the overlay with later-writes-win semantics down to single
+    bytes, drops every byte equal to the base, and merges the survivors
+    back into maximal contiguous runs.  The result is a pure function of
+    the *materialized* image: two overlays materializing identically
+    flatten identically, regardless of how their writes partition, order,
+    or overlap the ranges.  Cost is O(total overlay bytes), never
+    O(device), so it is usable per crash state.
+    """
+    latest: dict = {}
+    for addr, data in writes:
+        for i, b in enumerate(data):
+            latest[addr + i] = b
+    runs: List[Tuple[int, bytearray]] = []
+    for pos in sorted(latest):
+        b = latest[pos]
+        if base[pos] == b:
+            continue
+        if runs and runs[-1][0] + len(runs[-1][1]) == pos:
+            runs[-1][1].append(b)
+        else:
+            runs.append((pos, bytearray((b,))))
+    return tuple((addr, bytes(data)) for addr, data in runs)
 
 
 class ChunkedDigest:
@@ -112,7 +149,7 @@ class CrashImage:
     never materializes at all.
     """
 
-    __slots__ = ("base", "writes", "_digest", "_mat")
+    __slots__ = ("base", "writes", "_digest", "_mat", "_effective", "_noop_dropped")
 
     def __init__(self, base: FenceBase, writes: Sequence[OverlayWrite] = ()) -> None:
         self.base = base
@@ -120,17 +157,59 @@ class CrashImage:
         self.writes: Tuple[OverlayWrite, ...] = tuple(writes)
         self._digest: Optional[bytes] = None
         self._mat: Optional[bytes] = None
+        self._effective: Optional[Tuple[OverlayWrite, ...]] = None
+        self._noop_dropped: Optional[int] = None
 
     # ------------------------------------------------------------------
-    def digest(self) -> bytes:
-        """Content address: sha1(base digest ‖ each overlay range).
+    def effective_writes(self) -> Tuple[OverlayWrite, ...]:
+        """The overlay with no-op writes dropped (cached).
 
-        Equal digests imply byte-identical materialized images; see the
-        module docstring for why the one-way implication is the safe one.
+        A write is a no-op — and safe to drop — only when its payload is
+        byte-equal to the base slice it covers *and* it overlaps no earlier
+        kept write.  The second condition is what keeps the drop sound
+        under later-writes-win materialization: a base-equal write on top
+        of a kept write would restore base content, which is an effect, not
+        a no-op.  (Overlap with earlier *dropped* writes is fine: a dropped
+        write left base content in place, so the base comparison for the
+        later write was already against the bytes it actually overwrites.)
+        """
+        if self._effective is None:
+            base = self.base.data
+            kept: List[OverlayWrite] = []
+            spans: List[Tuple[int, int]] = []
+            dropped = 0
+            for addr, data in self.writes:
+                end = addr + len(data)
+                overlaps_kept = any(s < end and addr < e for s, e in spans)
+                if not overlaps_kept and base[addr:end] == data:
+                    dropped += 1
+                    continue
+                kept.append((addr, data))
+                spans.append((addr, end))
+            self._effective = tuple(kept)
+            self._noop_dropped = dropped
+        return self._effective
+
+    @property
+    def noop_dropped(self) -> int:
+        """Overlay writes :meth:`digest` ignored as no-ops."""
+        if self._noop_dropped is None:
+            self.effective_writes()
+        return self._noop_dropped  # type: ignore[return-value]
+
+    def digest(self) -> bytes:
+        """Content address: sha1(base digest ‖ each effective overlay range).
+
+        No-op writes (see :meth:`effective_writes`) are dropped before
+        hashing, so a state that replays only idempotent stores shares the
+        digest of the state that dropped them — the two images are
+        byte-identical and now memoize as such.  Equal digests imply
+        byte-identical materialized images; see the module docstring for
+        why the one-way implication is the safe one.
         """
         if self._digest is None:
             h = hashlib.sha1(self.base.digest)
-            for addr, data in self.writes:
+            for addr, data in self.effective_writes():
                 h.update(struct.pack("<QQ", addr, len(data)))
                 h.update(data)
             self._digest = h.digest()

@@ -24,7 +24,13 @@ from repro.core.replayer import (
 )
 from repro.fs.bugs import BugConfig
 from repro.pm.device import PMDevice
-from repro.pm.image import CHUNK, ChunkedDigest, CrashImage, FenceBase
+from repro.pm.image import (
+    CHUNK,
+    ChunkedDigest,
+    CrashImage,
+    FenceBase,
+    flatten_overlay,
+)
 from repro.pm.log import Fence, Flush, NTStore, PMLog, SyscallBegin, SyscallEnd
 from repro.workloads.ops import Op
 
@@ -284,6 +290,117 @@ class TestCrashImage:
         base = FenceBase(bytes(8))
         img = CrashImage(base, ((0, b"\x01\x01"), (1, b"\x02")))
         assert bytes(img)[:3] == b"\x01\x02\x00"
+
+
+class TestNoopOverlayWrites:
+    """Satellite: base-equal overlay writes are dropped before digesting."""
+
+    def test_noop_write_does_not_perturb_digest(self):
+        base = FenceBase(bytes(range(256)))
+        clean = CrashImage(base, ((10, b"XY"),))
+        noisy = CrashImage(base, ((10, b"XY"), (50, bytes(range(50, 54)))))
+        assert bytes(clean) == bytes(noisy)
+        assert noisy.digest() == clean.digest()
+        assert noisy.noop_dropped == 1
+        assert clean.noop_dropped == 0
+
+    def test_noop_overlapping_kept_write_is_not_dropped(self):
+        # Replay order: a base-equal write landing on top of an earlier
+        # effective write restores base content there — dropping it would
+        # change the materialized image.
+        base = FenceBase(bytes(8))
+        img = CrashImage(base, ((0, b"\x01\x01"), (1, b"\x00")))
+        assert img.noop_dropped == 0
+        assert bytes(img)[:3] == b"\x01\x00\x00"
+        shape_only = CrashImage(base, ((0, b"\x01\x01"),))
+        assert img.digest() != shape_only.digest()
+
+    def test_noop_overlapping_dropped_write_still_drops(self):
+        # Two stacked no-ops: the first leaves base content in place, so
+        # the second overlapping no-op is also droppable.
+        base = FenceBase(bytes(range(64)))
+        img = CrashImage(
+            base, ((0, bytes(range(4))), (2, bytes(range(2, 6))))
+        )
+        assert img.noop_dropped == 2
+        assert img.digest() == CrashImage(base, ()).digest()
+
+    def test_effective_writes_preserve_materialization(self):
+        base = FenceBase(bytes(range(128)))
+        writes = (
+            (0, b"\xaa\xbb"),
+            (10, bytes(range(10, 14))),  # no-op
+            (1, b"\xcc"),
+            (0, b"\x00\x01"),            # no-op bytes, overlaps kept writes
+        )
+        img = CrashImage(base, writes)
+        replayed = bytearray(base.data)
+        for addr, data in writes:
+            replayed[addr:addr + len(data)] = data
+        assert bytes(img) == bytes(replayed)
+        # Materializing only the effective writes gives the same image.
+        effective = bytearray(base.data)
+        for addr, data in img.effective_writes():
+            effective[addr:addr + len(data)] = data
+        assert bytes(effective) == bytes(replayed)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(0, 56),
+                st.binary(min_size=1, max_size=8),
+            ),
+            max_size=6,
+        )
+    )
+    def test_property_digest_canonical_under_noops(self, writes):
+        """Adding base-equal writes anywhere never changes the digest as
+        long as they do not overlap an earlier kept write; and
+        materialization is always preserved."""
+        base = FenceBase(bytes(range(64)))
+        img = CrashImage(base, tuple(writes))
+        replayed = bytearray(base.data)
+        for addr, data in writes:
+            replayed[addr:addr + len(data)] = data
+        assert bytes(img) == bytes(replayed)
+        # digest equality still implies byte equality across variants
+        flat = flatten_overlay(base.data, writes)
+        canonical = CrashImage(base, flat)
+        assert bytes(canonical) == bytes(img)
+
+
+class TestFlattenOverlay:
+    def test_exact_diff_against_base(self):
+        base = bytes(range(100))
+        writes = ((5, b"\xff\xff"), (6, bytes([6, 7])), (50, b"\x00"))
+        flat = flatten_overlay(base, writes)
+        replayed = bytearray(base)
+        for addr, data in writes:
+            replayed[addr:addr + len(data)] = data
+        rebuilt = bytearray(base)
+        for addr, data in flat:
+            rebuilt[addr:addr + len(data)] = data
+        assert bytes(rebuilt) == bytes(replayed)
+        # every flattened byte genuinely differs from base
+        for addr, data in flat:
+            for i, b in enumerate(data):
+                assert base[addr + i] != b
+
+    def test_shape_independent(self):
+        base = bytes(64)
+        a = flatten_overlay(base, ((0, b"ab"),))
+        b = flatten_overlay(base, ((0, b"a"), (1, b"b")))
+        assert a == b == ((0, b"ab"),)
+
+    def test_pure_noop_flattens_to_nothing(self):
+        base = bytes(range(32))
+        assert flatten_overlay(base, ((4, bytes(range(4, 10))),)) == ()
+
+    def test_adjacent_runs_merge(self):
+        base = bytes(16)
+        flat = flatten_overlay(base, ((2, b"\x01"), (3, b"\x02")))
+        assert flat == ((2, b"\x01\x02"),)
 
 
 class TestCheckMemo:

@@ -69,7 +69,7 @@ class TestStageTimes:
     def test_elapsed_is_sum_of_stages(self):
         result = Chipmunk("nova", bugs=BugConfig.fixed()).test_workload(WORKLOAD)
         assert set(result.stage_times) == {
-            "record", "oracle", "enumerate", "check", "triage",
+            "record", "oracle", "enumerate", "check", "triage", "analyze",
         }
         assert result.elapsed == pytest.approx(sum(result.stage_times.values()))
 

@@ -1,5 +1,7 @@
 """CLI (`python -m repro`) behaviour."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import _parse_op, build_parser, main
@@ -226,3 +228,71 @@ class TestCampaignCLI:
         with pytest.raises(SystemExit):
             main(["campaign"])
         assert "file system is required" in capsys.readouterr().err
+
+
+class TestObservabilityCLI:
+    @pytest.fixture(scope="class")
+    def campaign_dir(self, tmp_path_factory):
+        out_dir = str(tmp_path_factory.mktemp("obs") / "camp")
+        code = main(["campaign", "nova", "--workers", "2", "--seq", "2",
+                     "--max-workloads", "6", "--out", out_dir, "--trace"])
+        assert code in (0, 1)
+        return out_dir
+
+    def test_stats_accepts_campaign_dir(self, campaign_dir, capsys):
+        assert main(["stats", campaign_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign: nova (ace)" in out
+        assert "memo misses by reason" in out
+
+    def test_stats_json_carries_miss_reasons(self, campaign_dir, capsys):
+        assert main(["stats", campaign_dir, "--json"]) == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["memo_miss_reasons"]
+        assert sum(doc["memo_miss_reasons"].values()) == doc["memo_misses"]
+        assert doc["unique_outcomes"] > 0
+
+    def test_stats_dir_without_traces_errors_with_hint(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path)]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_coverage_on_campaign_dir(self, campaign_dir, tmp_path, capsys):
+        out_file = str(tmp_path / "coverage.md")
+        assert main(["coverage", campaign_dir, "--out", out_file]) == 0
+        text = open(out_file).read()
+        assert "Memo-miss attribution" in text
+        assert "In-flight window size CDF" in text
+        assert "Persistence-mechanism store breakdown" in text
+        assert "✓" in text  # reason counts sum exactly to memo misses
+
+    def test_coverage_json_sum_invariant(self, campaign_dir, capsys):
+        assert main(["coverage", campaign_dir, "--json"]) == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["memo_miss_reasons_consistent"] is True
+        assert sum(doc["memo_miss_reasons"].values()) == doc["memo_misses"]
+
+    def test_coverage_on_trace_files(self, campaign_dir, capsys):
+        trace = str(Path(campaign_dir) / "trace.jsonl")
+        assert main(["coverage", trace]) == 0
+        assert "Memo-miss attribution" in capsys.readouterr().out
+
+    def test_coverage_merge_artifact_exists(self, campaign_dir):
+        assert (Path(campaign_dir) / "coverage.md").exists()
+
+    def test_coverage_rejects_non_campaign_dir(self, tmp_path, capsys):
+        assert main(["coverage", str(tmp_path)]) == 2
+        assert "journal" in capsys.readouterr().err
+
+    def test_watch_once_on_completed_campaign(self, campaign_dir, capsys):
+        assert main(["watch", campaign_dir, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "COMPLETE" in out
+        assert "12/12" in out  # 6 workloads per sequence length, seq 1..2
+
+    def test_watch_rejects_non_campaign_dir(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path), "--once"]) == 2
+        assert "not a campaign directory" in capsys.readouterr().out
