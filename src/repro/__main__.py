@@ -172,7 +172,11 @@ def cmd_test(args) -> int:
     chipmunk = Chipmunk(
         args.fs,
         bugs=_bug_config(args.fs, args.bugs, args.fixed),
-        config=ChipmunkConfig(cap=args.cap, memoize=args.memoize),
+        config=ChipmunkConfig(
+            cap=args.cap,
+            memoize=args.memoize,
+            crash_plans=args.crash_plans,
+        ),
         telemetry=tel,
     )
     result = chipmunk.test_workload(args.op or [Op("creat", ("/probe",))])
@@ -191,7 +195,11 @@ def cmd_ace(args) -> int:
     chipmunk = Chipmunk(
         args.fs,
         bugs=_bug_config(args.fs, args.bugs, args.fixed),
-        config=ChipmunkConfig(cap=args.cap, memoize=args.memoize),
+        config=ChipmunkConfig(
+            cap=args.cap,
+            memoize=args.memoize,
+            crash_plans=args.crash_plans,
+        ),
         telemetry=tel,
     )
     mode = "pm" if FS_CLASSES()[args.fs].strong_guarantees else "fsync"
@@ -239,7 +247,11 @@ def cmd_fuzz(args) -> int:
     chipmunk = Chipmunk(
         args.fs,
         bugs=_bug_config(args.fs, args.bugs, args.fixed),
-        config=ChipmunkConfig(cap=args.cap, memoize=args.memoize),
+        config=ChipmunkConfig(
+            cap=args.cap,
+            memoize=args.memoize,
+            crash_plans=args.crash_plans,
+        ),
         telemetry=tel,
     )
     fuzzer = WorkloadFuzzer(chipmunk, seed=args.seed)
@@ -317,6 +329,7 @@ def cmd_campaign(args) -> int:
             executions=args.executions,
             trace=args.trace,
             memoize=args.memoize,
+            crash_plans=args.crash_plans,
         )
     engine = CampaignEngine(
         spec,
@@ -628,6 +641,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="disable content-addressed check memoization (eager "
             "whole-image dedup; same reports, slower)",
         )
+        p.add_argument(
+            "--crash-plans",
+            choices=("subset", "mech"),
+            default="subset",
+            help="crash-plan selection: capped subset enumeration "
+            "(default) or mechanism-targeted plans with subset fallback",
+        )
 
     p_test = sub.add_parser("test", help="test one workload")
     add_common(p_test)
@@ -713,6 +733,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="disable content-addressed check memoization (eager "
         "whole-image dedup; same reports, slower)",
+    )
+    p_camp.add_argument(
+        "--crash-plans",
+        choices=("subset", "mech"),
+        default="subset",
+        help="crash-plan selection: capped subset enumeration (default) "
+        "or mechanism-targeted plans with subset fallback",
     )
     p_camp.add_argument("--batch", type=int, default=8,
                         help="work items per dispatch (default 8)")

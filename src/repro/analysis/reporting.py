@@ -35,6 +35,12 @@ class CampaignSummary:
     #: Distinct recovered-outcome digests summed over workloads — the
     #: WITCHER output-equivalence pruning headroom denominator.
     unique_outcomes: int = 0
+    #: Mechanism-aware crash planning (``mech.*``): epochs per recognized
+    #: kind, targeted states emitted, and subset-fallback epochs.
+    crash_plans: str = "?"
+    mech_recognized: Dict[str, int] = field(default_factory=dict)
+    mech_plans_emitted: int = 0
+    mech_fallback_epochs: int = 0
     #: Provenance-guided triage by default: reports carrying a culprit site
     #: set cluster by (fs, consequence, sites) — one bug seen through
     #: different syscalls merges — and the rest fall back to the lexical
@@ -59,6 +65,12 @@ class CampaignSummary:
                 self.memo_miss_reasons.get(reason, 0) + n
             )
         self.unique_outcomes += getattr(result, "n_unique_outcomes", 0)
+        mode = getattr(result, "crash_plans", "subset")
+        self.crash_plans = mode if self.crash_plans in ("?", mode) else "mixed"
+        for kind, n in getattr(result, "mech_recognized", {}).items():
+            self.mech_recognized[kind] = self.mech_recognized.get(kind, 0) + n
+        self.mech_plans_emitted += getattr(result, "mech_plans_emitted", 0)
+        self.mech_fallback_epochs += getattr(result, "mech_fallback_epochs", 0)
         if getattr(result, "truncated", False):
             self.truncated_workloads += 1
         for stage, dt in getattr(result, "stage_times", {}).items():
@@ -126,6 +138,22 @@ def _telemetry_section(summary: CampaignSummary) -> List[str]:
             f"- **recovered outcomes:** {summary.unique_outcomes} distinct of "
             f"{summary.unique_states} checked "
             f"({headroom * 100:.1f}% output-equivalence pruning headroom)"
+        )
+    if summary.mech_recognized:
+        parts = ", ".join(
+            f"`{kind}` {n}"
+            for kind, n in sorted(
+                summary.mech_recognized.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        )
+        lines.append(
+            f"- **mechanism recognition** (`--crash-plans "
+            f"{summary.crash_plans}`): {parts}"
+        )
+        lines.append(
+            f"- **mech plans:** {summary.mech_plans_emitted} targeted "
+            f"state(s) emitted, {summary.mech_fallback_epochs} epoch(s) fell "
+            f"back to subset enumeration"
         )
     lines.append("")
     lines.append("| stage | total (ms) | share |")

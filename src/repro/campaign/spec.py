@@ -42,6 +42,10 @@ class CampaignSpec:
     #: Content-addressed check memoization (``ChipmunkConfig.memoize``);
     #: part of the spec so a resumed campaign keeps the original setting.
     memoize: bool = True
+    #: Crash-plan selection (``ChipmunkConfig.crash_plans``): ``"subset"``
+    #: or ``"mech"``; in the spec so resumed campaigns and every worker
+    #: explore the same state space.
+    crash_plans: str = "subset"
 
     def __post_init__(self) -> None:
         if self.fs not in FS_CLASSES():
@@ -50,6 +54,8 @@ class CampaignSpec:
             raise ValueError(f"unknown generator {self.generator!r}")
         if self.generator == "ace" and self.seq not in (1, 2, 3):
             raise ValueError(f"seq must be 1, 2, or 3 (got {self.seq})")
+        if self.crash_plans not in ("subset", "mech"):
+            raise ValueError(f"unknown crash-plan mode {self.crash_plans!r}")
 
     @property
     def mode(self) -> str:
@@ -67,7 +73,11 @@ class CampaignSpec:
         return Chipmunk(
             self.fs,
             bugs=self.bug_config(),
-            config=ChipmunkConfig(cap=self.cap, memoize=self.memoize),
+            config=ChipmunkConfig(
+                cap=self.cap,
+                memoize=self.memoize,
+                crash_plans=self.crash_plans,
+            ),
             telemetry=telemetry,
         )
 

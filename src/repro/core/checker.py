@@ -376,16 +376,23 @@ class CheckMemo:
     nothing else), so memoization and the per-state ``check_state``
     telemetry span wrap the same code path.  States are keyed by
     ``(image content address, syscall, mid_syscall, after_syscall)`` — the
-    image digest alone is not enough, because a byte-identical image crash-
-    checked mid-syscall and post-syscall is judged against different oracle
-    expectations.
+    content address alone is not enough, because a byte-identical image
+    crash-checked mid-syscall and post-syscall is judged against different
+    oracle expectations.
 
-    With ``delta=True`` the content address is
-    :meth:`~repro.pm.image.CrashImage.digest` — O(overlay), no
-    materialization.  Digest equality implies byte-identical images, so a
-    hit can never skip a state that would have checked differently; the
-    (rare) converse miss merely re-checks a duplicate.  Memoization
-    therefore cannot mask a bug, only cost a redundant check.
+    With ``delta=True`` the content address is the *canonical* byte-
+    granular key (:meth:`~repro.obs.attribution.MemoAttribution.content_key`:
+    sha1 over the fence-base digest and the exact byte diff from base via
+    :func:`~repro.pm.image.flatten_overlay`) — O(overlay), no
+    materialization, and identical for every overlay shape that
+    materializes the same bytes.  Two states whose overlays partition the
+    same content into different write ranges, or that differ only in
+    residual no-op bytes, now *hit*; under the earlier range-wise
+    :meth:`~repro.pm.image.CrashImage.digest` keying they were the
+    ``overlay_shape`` / ``noop_write_perturbation`` miss classes.  Key
+    equality still implies byte-identical images, so a hit can never skip
+    a state that would have checked differently — memoization cannot mask
+    a bug, only cost a redundant check.
 
     With ``delta=False`` every state is materialized and keyed by
     ``sha1(image)`` — the eager whole-image dedup this PR replaces, kept as
@@ -397,11 +404,14 @@ class CheckMemo:
 
     Every miss is classified by a :class:`~repro.obs.attribution.MemoAttribution`
     (cold base / overlay shape / no-op perturbation / syscall context /
-    new content — the reason counts sum exactly to :attr:`misses`), and
-    overlay writes the digest dropped as no-ops are tallied in
-    :attr:`noop_writes_dropped`.  With telemetry attached both surface as
-    registry counters: ``checker.memo.miss.{reason}`` and
-    ``checker.memo.noop_writes_dropped``.
+    new content — the reason counts sum exactly to :attr:`misses`).  With
+    the canonical key the two avoidable classes are structurally
+    unreachable; a nonzero ``overlay_shape`` or
+    ``noop_write_perturbation`` count is a regression signal that the key
+    stopped being a pure function of the bytes.  Overlay writes dropped as
+    whole-write no-ops are still tallied in :attr:`noop_writes_dropped`.
+    With telemetry attached both surface as registry counters:
+    ``checker.memo.miss.{reason}`` and ``checker.memo.noop_writes_dropped``.
     """
 
     def __init__(self, checker: ConsistencyChecker, telemetry=None,
@@ -429,7 +439,7 @@ class CheckMemo:
     def key_of(self, state: CrashState):
         image = state.image
         if self.delta and isinstance(image, CrashImage):
-            digest = image.digest()
+            digest = MemoAttribution.content_key(image)
         else:
             digest = hashlib.sha1(
                 image if isinstance(image, (bytes, bytearray)) else bytes(image)
@@ -456,7 +466,15 @@ class CheckMemo:
             return None
         self._seen.add(key)
         self.misses += 1
-        reason = self.attribution.classify_miss(state, key[0])
+        # On the delta path (and for flat images) the memo digest *is* the
+        # canonical content key — hand it over so attribution never
+        # re-flattens the overlay.
+        precomputed = (
+            key[0]
+            if self.delta or not isinstance(state.image, CrashImage)
+            else None
+        )
+        reason = self.attribution.classify_miss(state, key[0], ckey=precomputed)
         if self._counters is not None:
             self._counters.miss()
         if self._tel is not None:

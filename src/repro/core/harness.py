@@ -59,6 +59,19 @@ class ChipmunkConfig:
     #: (:class:`repro.core.checker.CheckMemo`).  ``False`` falls back to
     #: eager whole-image sha1 dedup — same reports, eager cost.
     memoize: bool = True
+    #: Crash-plan selection: ``"subset"`` enumerates capped store subsets
+    #: per fence epoch (the paper's strategy); ``"mech"`` recognizes the
+    #: persistence mechanism behind each epoch (:mod:`repro.mech`) and
+    #: emits a few targeted plans instead, falling back to subset
+    #: enumeration for unrecognized epochs.
+    crash_plans: str = "subset"
+
+    def __post_init__(self) -> None:
+        if self.crash_plans not in ("subset", "mech"):
+            raise ValueError(
+                f"unknown crash-plan mode {self.crash_plans!r} "
+                f"(expected 'subset' or 'mech')"
+            )
 
 
 #: Pipeline stage keys of :attr:`TestResult.stage_times`, in execution order.
@@ -115,6 +128,17 @@ class TestResult:
     #: Recovery-read overlap on the final persistent image
     #: ({read_lines, store_lines, overlap_lines}, 64-byte cache lines).
     recovery_overlap: Dict[str, int] = field(default_factory=dict)
+    #: Crash-plan mode the workload ran under ("subset" | "mech").
+    crash_plans: str = "subset"
+    #: Mechanism recognition (``mech.recognized.{kind}``): fence epochs per
+    #: recognized mechanism kind.  Empty outside mech mode.
+    mech_recognized: Dict[str, int] = field(default_factory=dict)
+    #: Targeted crash states emitted from mechanism plans
+    #: (``mech.plans.emitted``).
+    mech_plans_emitted: int = 0
+    #: Epochs that fell back to full subset enumeration
+    #: (``mech.fallback_epochs``).
+    mech_fallback_epochs: int = 0
 
     @property
     def buggy(self) -> bool:
@@ -172,6 +196,10 @@ class TestResult:
             "persistence": {k: dict(v) for k, v in self.persistence.items()},
             "store_regions": {k: dict(v) for k, v in self.store_regions.items()},
             "recovery_overlap": dict(self.recovery_overlap),
+            "crash_plans": self.crash_plans,
+            "mech_recognized": dict(self.mech_recognized),
+            "mech_plans_emitted": self.mech_plans_emitted,
+            "mech_fallback_epochs": self.mech_fallback_epochs,
         }
 
     @classmethod
@@ -220,6 +248,13 @@ class TestResult:
                 str(k): int(v)
                 for k, v in dict(data.get("recovery_overlap", {})).items()
             },
+            crash_plans=str(data.get("crash_plans", "subset")),
+            mech_recognized={
+                str(k): int(v)
+                for k, v in dict(data.get("mech_recognized", {})).items()
+            },
+            mech_plans_emitted=int(data.get("mech_plans_emitted", 0)),
+            mech_fallback_epochs=int(data.get("mech_fallback_epochs", 0)),
         )
 
 
@@ -344,6 +379,23 @@ class Chipmunk:
         # digest or eager sha1, per ``config.memoize``), the ``check_state``
         # telemetry span, and the checker call all live behind it.
         memo = CheckMemo(checker, telemetry=tel, delta=self.config.memoize)
+        planner = None
+        if self.config.crash_plans == "mech" and crash_points == "fence":
+            # Mechanism recognition only prunes fence-epoch subsets; the
+            # post/fsync strategies never enumerate them, so the classifier
+            # pass would be pure overhead there.
+            from repro.mech.plans import MechPlanner
+
+            planner = MechPlanner(
+                self.fs_class,
+                log,
+                self.config.device_size,
+                base_image=base,
+                bugs=self.bugs,
+                cap=self.config.cap,
+                coalesce_threshold=self.config.coalesce_threshold,
+                telemetry=tel,
+            )
         reports: List[BugReport] = []
         n_states = 0
         truncated = False
@@ -357,6 +409,7 @@ class Chipmunk:
             crash_points=crash_points,
             stats=stats,
             telemetry=tel,
+            planner=planner,
         )
         t_prev = time.perf_counter()
         while True:
@@ -420,6 +473,10 @@ class Chipmunk:
             persistence=persistence,
             store_regions=store_regions,
             recovery_overlap=recovery_overlap,
+            crash_plans=self.config.crash_plans,
+            mech_recognized=dict(planner.recognized) if planner else {},
+            mech_plans_emitted=planner.plans_emitted if planner else 0,
+            mech_fallback_epochs=planner.fallback_epochs if planner else 0,
         )
         if tel.enabled:
             self._emit_result(tel, result)
@@ -428,26 +485,29 @@ class Chipmunk:
     def _recovery_overlap(self, base: bytes, log: PMLog) -> Dict[str, int]:
         """Recovery-read overlap with the workload's write set.
 
-        Mounts the final persistent image on a read-tracking device
-        (:func:`repro.core.recovery_reads.recovery_read_set`) and intersects
-        the cache lines recovery reads with the lines the workload stored.
+        Mounts the final persistent image on an overlay-aware read-tracking
+        device (:func:`repro.core.recovery_reads.recovery_read_set` with
+        ``writes=``) and intersects the cache lines recovery reads with the
+        lines the workload stored.  The fence base is shared by reference
+        and only the chunks recovery touches are materialized, so this
+        analyze stage costs O(log delta + bytes read), never a device copy.
         A large never-read remainder is the Vinter-heuristic redundancy the
         coverage report surfaces: in-flight writes recovery does not even
         look at rarely change a verdict.
         """
         from repro.core.recovery_reads import recovery_read_set
 
-        buf = bytearray(base)
         store_lines: set = set()
+        overlay = []
         for entry in log.writes():
             data = entry.data
-            buf[entry.addr : entry.addr + len(data)] = data
+            overlay.append((entry.addr, data))
             first = entry.addr // RECOVERY_LINE
             last = (entry.addr + max(len(data), 1) - 1) // RECOVERY_LINE
             store_lines.update(range(first, last + 1))
         read_lines = recovery_read_set(
-            self.fs_class, bytes(buf), bugs=self.bugs,
-            granularity=RECOVERY_LINE,
+            self.fs_class, base, bugs=self.bugs,
+            granularity=RECOVERY_LINE, writes=overlay,
         )
         return {
             "read_lines": len(read_lines),
@@ -489,6 +549,10 @@ class Chipmunk:
             persistence=result.persistence,
             store_regions=result.store_regions,
             recovery_overlap=result.recovery_overlap,
+            crash_plans=result.crash_plans,
+            mech_recognized=result.mech_recognized,
+            mech_plans_emitted=result.mech_plans_emitted,
+            mech_fallback_epochs=result.mech_fallback_epochs,
             outcomes=outcomes,
             inflight=result.inflight,
         )

@@ -17,9 +17,9 @@ campaign checks before the first report, with and without the heuristic.
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
-from repro.pm.device import PMDevice
+from repro.pm.device import CACHE_LINE, PMDevice, PMDeviceError
 from repro.pm.log import WriteEntry
 from repro.vfs.interface import MountError
 
@@ -46,13 +46,126 @@ class ReadTrackingDevice(PMDevice):
         return super().read(addr, length)
 
 
-def recovery_read_set(fs_class, image: bytes, bugs=None, granularity: int = 64) -> Set[int]:
+class OverlayReadTrackingDevice(PMDevice):
+    """Read-tracking device over ``base`` plus a sparse write overlay.
+
+    Construction takes the shared fence-base bytes *by reference* and an
+    ordered list of overlay writes; nothing is copied up front.  Chunks of
+    the image are materialized copy-on-access — base slice plus the overlay
+    writes that land in the chunk, applied in log order — so a recovery pass
+    that reads a few kilobytes costs a few kilobytes, not a device copy.
+    Mount-time recovery writes land in the same materialized chunks and are
+    observed by later reads, exactly as on a flat device.
+    """
+
+    CHUNK = 4096
+
+    def __init__(self, base: bytes, writes: Iterable[Tuple[int, bytes]] = ()) -> None:
+        size = len(base)
+        if size <= 0 or size % CACHE_LINE != 0:
+            raise PMDeviceError(
+                f"device size must be a positive multiple of {CACHE_LINE}, got {size}"
+            )
+        # Deliberately skip PMDevice.__init__: no full-image allocation.
+        self.size = size
+        self._base = base
+        self._chunks: Dict[int, bytearray] = {}
+        self._pending: Dict[int, List[Tuple[int, bytes]]] = {}
+        for addr, data in writes:
+            if not data:
+                continue
+            self.check_range(addr, len(data))
+            first = addr // self.CHUNK
+            last = (addr + len(data) - 1) // self.CHUNK
+            for ci in range(first, last + 1):
+                self._pending.setdefault(ci, []).append((addr, data))
+        self.read_ranges: List[Tuple[int, int]] = []
+        self._undo = None
+        self._c_reads = self._c_read_bytes = None
+        self._c_writes = self._c_write_bytes = None
+
+    def _chunk(self, ci: int) -> bytearray:
+        buf = self._chunks.get(ci)
+        if buf is None:
+            lo = ci * self.CHUNK
+            hi = min(lo + self.CHUNK, self.size)
+            buf = bytearray(self._base[lo:hi])
+            for addr, data in self._pending.pop(ci, ()):
+                s = max(addr, lo)
+                e = min(addr + len(data), hi)
+                if s < e:
+                    buf[s - lo : e - lo] = data[s - addr : e - addr]
+            self._chunks[ci] = buf
+        return buf
+
+    def read(self, addr: int, length: int) -> bytes:
+        self.check_range(addr, length)
+        if length <= 0:
+            return b""
+        self.read_ranges.append((addr, length))
+        first = addr // self.CHUNK
+        last = (addr + length - 1) // self.CHUNK
+        parts = []
+        for ci in range(first, last + 1):
+            lo = ci * self.CHUNK
+            buf = self._chunk(ci)
+            s = max(addr, lo) - lo
+            e = min(addr + length, lo + len(buf)) - lo
+            parts.append(bytes(buf[s:e]))
+        return parts[0] if len(parts) == 1 else b"".join(parts)
+
+    def write(self, addr: int, data: bytes) -> None:
+        self.check_range(addr, len(data))
+        if not data:
+            return
+        first = addr // self.CHUNK
+        last = (addr + len(data) - 1) // self.CHUNK
+        for ci in range(first, last + 1):
+            lo = ci * self.CHUNK
+            buf = self._chunk(ci)
+            s = max(addr, lo)
+            e = min(addr + len(data), lo + len(buf))
+            buf[s - lo : e - lo] = data[s - addr : e - addr]
+
+    def snapshot(self) -> bytes:
+        buf = bytearray(self._base)
+        for ci in sorted(set(self._pending) | set(self._chunks)):
+            if ci in self._chunks:
+                lo = ci * self.CHUNK
+                buf[lo : lo + len(self._chunks[ci])] = self._chunks[ci]
+            else:
+                for addr, data in self._pending[ci]:
+                    lo = ci * self.CHUNK
+                    hi = min(lo + self.CHUNK, self.size)
+                    s = max(addr, lo)
+                    e = min(addr + len(data), hi)
+                    if s < e:
+                        buf[s:e] = data[s - addr : e - addr]
+        return bytes(buf)
+
+
+def recovery_read_set(
+    fs_class,
+    image: bytes,
+    bugs=None,
+    granularity: int = 64,
+    writes: Iterable[Tuple[int, bytes]] | None = None,
+) -> Set[int]:
     """Cache lines recovery reads when mounting ``image``.
 
     A failed mount still yields the ranges read up to the failure — those
     are precisely the locations recovery trusted.
+
+    With ``writes``, ``image`` is treated as the shared fence base and the
+    mount runs against ``base + writes`` on an
+    :class:`OverlayReadTrackingDevice` — no flat copy of the device is ever
+    built, so the cost is proportional to the overlay plus the bytes
+    recovery actually reads.
     """
-    device = ReadTrackingDevice.from_snapshot(image)
+    if writes is not None:
+        device: PMDevice = OverlayReadTrackingDevice(image, writes)
+    else:
+        device = ReadTrackingDevice.from_snapshot(image)
     try:
         fs_class.mount(device, bugs=bugs)
     except (MountError, Exception):  # noqa: BLE001 - any recovery failure is fine

@@ -191,6 +191,7 @@ def enumerate_crash_states(
     stats: Optional[ReplayStats] = None,
     unit_ranker=None,
     telemetry=None,
+    planner=None,
 ) -> Iterator[CrashState]:
     """Enumerate crash states for a recorded workload.
 
@@ -214,6 +215,17 @@ def enumerate_crash_states(
     ``telemetry`` optionally receives replay counters and the in-flight
     unit-count histogram; instrumentation happens only at fence boundaries,
     never per write entry, so the enabled overhead stays negligible.
+
+    ``planner`` optionally substitutes mechanism-targeted crash plans for
+    the combinatorial subset space (:class:`repro.mech.plans.MechPlanner`):
+    at each epoch with in-flight units, ``planner.plan_for(fence_index,
+    n_units)`` returns either ``None`` (enumerate the full capped subset
+    space, the fallback) or a canonically ordered list of unit-index
+    combos to emit instead.  Planned combos are always a subset of the
+    subset-mode combos in the same order, so the planned state stream is a
+    subsequence of the unplanned one.  The planner takes precedence over
+    ``unit_ranker`` for planned epochs (plans are already targeted);
+    fallback epochs still rank.
     """
     if crash_points not in ("fence", "post", "fsync"):
         raise ValueError(f"unknown crash_points mode {crash_points!r}")
@@ -234,8 +246,9 @@ def enumerate_crash_states(
             # Nothing in flight: the boundary state is already covered by
             # the adjacent regions' subsets and the post-syscall states.
             return
+        plan = planner.plan_for(fence_index, n) if planner is not None else None
         positions = unit_positions(units)
-        if unit_ranker is not None and n > 1:
+        if plan is None and unit_ranker is not None and n > 1:
             # The ranked path pays for an id()-keyed order map so replay
             # (which must stay in program order) can undo whatever order
             # the ranker chose for *generation*.
@@ -259,32 +272,42 @@ def enumerate_crash_states(
                 tel.count("replay.capped_regions")
             max_size = cap
         base = persistent.base()
-        for size in range(0, max_size + 1):
-            for combo in itertools.combinations(range(n), size):
-                if program_index is not None:
-                    combo = sorted(combo, key=lambda i: program_index[i])
-                chosen: List[WriteEntry] = []
-                replayed: List[int] = []
-                for unit_index in combo:
-                    chosen.extend(units[unit_index])
-                    replayed.extend(positions[unit_index])
-                desc = tuple(e.describe() for e in chosen) or ("<none persisted>",)
-                stats.n_states += 1
-                yield CrashState(
-                    image=CrashImage(
-                        base, tuple((e.addr, e.data) for e in chosen)
-                    ),
-                    fence_index=fence_index,
-                    syscall=in_syscall,
-                    syscall_name=in_name,
-                    mid_syscall=in_syscall is not None,
-                    after_syscall=completed,
-                    subset_desc=desc,
-                    n_replayed=size,
-                    log_pos=log_pos,
-                    replayed_entries=tuple(replayed),
-                    kind="subset",
-                )
+        if plan is not None:
+            # Mechanism-targeted plan: a canonically ordered sub-list of
+            # the combos the loop below would generate (already size-
+            # ascending and program-ordered, so no ranker interaction).
+            combos = iter(plan)
+        else:
+            combos = (
+                combo
+                for size in range(0, max_size + 1)
+                for combo in itertools.combinations(range(n), size)
+            )
+        for combo in combos:
+            if program_index is not None:
+                combo = sorted(combo, key=lambda i: program_index[i])
+            chosen: List[WriteEntry] = []
+            replayed: List[int] = []
+            for unit_index in combo:
+                chosen.extend(units[unit_index])
+                replayed.extend(positions[unit_index])
+            desc = tuple(e.describe() for e in chosen) or ("<none persisted>",)
+            stats.n_states += 1
+            yield CrashState(
+                image=CrashImage(
+                    base, tuple((e.addr, e.data) for e in chosen)
+                ),
+                fence_index=fence_index,
+                syscall=in_syscall,
+                syscall_name=in_name,
+                mid_syscall=in_syscall is not None,
+                after_syscall=completed,
+                subset_desc=desc,
+                n_replayed=len(combo),
+                log_pos=log_pos,
+                replayed_entries=tuple(replayed),
+                kind="subset",
+            )
 
     for log_pos, entry in enumerate(log):
         if isinstance(entry, SyscallBegin):

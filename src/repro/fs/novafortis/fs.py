@@ -104,6 +104,55 @@ class NovaFortisFS(NovaFS):
         self._bad_slots: Set[int] = set()
 
     # ------------------------------------------------------------------
+    # Layout + mechanism hints
+    # ------------------------------------------------------------------
+    @classmethod
+    def layout_map(cls, image: bytes):
+        from repro.fs.common.layout import LayoutMap, NamedRegion
+
+        base = super().layout_map(image)
+        if len(base.regions) < 2:  # torn superblock: single anonymous region
+            return base
+        geom = cls._coerce_geometry(L.unpack_superblock(bytes(image[:64])))
+        # Insert the Fortis resilience regions between NOVA's inode table
+        # and the (already Fortis-offset) data region.
+        named = list(base.regions)
+        named[-1:-1] = [
+            NamedRegion("replica_table", geom.replica_table,
+                        slot_size=L.INODE_SLOT_SIZE),
+            NamedRegion("csum_table", geom.csum_table,
+                        slot_size=CSUM_ENTRY_SIZE),
+            NamedRegion("pending_truncate", geom.pending_truncate),
+        ]
+        return LayoutMap(tuple(named))
+
+    @classmethod
+    def mechanism_hints(cls):
+        """NOVA's region vocabulary plus the Fortis mirror structures.
+
+        The inode replica table, per-block checksum table, and
+        pending-truncate record are all shadow copies of primary state —
+        primary/replica divergence (Table-1 bugs 9, 10, 12) is the crash
+        pattern that breaks them, so they are declared replica regions and
+        their epochs keep the full pairwise subset space.  Deliberately
+        *not* inherited from :class:`NovaFS`: Fortis recovery reads
+        checksums and replicas over data NOVA would never look at, so the
+        aggressive NOVA overrides (boundary-only appends, sequence rules)
+        are unsound here — every recognized kind keeps its conservative
+        default policy.
+        """
+        from repro.mech.recognize import MechanismHints
+
+        return MechanismHints(
+            journal_regions=("journal",),
+            append_regions=("data",),
+            commit_regions=("inode_table",),
+            replica_regions=(
+                "replica_table", "csum_table", "pending_truncate",
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # Formatting
     # ------------------------------------------------------------------
     def _format(self) -> None:

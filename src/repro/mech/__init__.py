@@ -1,0 +1,35 @@
+"""Mechanism-aware crash planning (``--crash-plans mech``).
+
+Recognize the persistence mechanism behind each fence epoch's store group
+(:mod:`repro.mech.recognize`) and emit a handful of targeted crash plans
+per mechanism instead of the capped combinatorial subset space
+(:mod:`repro.mech.plans`), falling back to subset enumeration for any
+epoch the recognizers cannot explain.
+"""
+
+from repro.mech.recognize import (
+    MECH_KINDS,
+    UNIT_ROLES,
+    EpochClass,
+    MechanismHints,
+    classify_log,
+    classify_roles,
+    iter_epochs,
+    unit_role,
+)
+from repro.mech.plans import DEFAULT_POLICY, PLAN_POLICIES, MechPlanner, plan_epoch
+
+__all__ = [
+    "MECH_KINDS",
+    "UNIT_ROLES",
+    "EpochClass",
+    "MechanismHints",
+    "classify_log",
+    "classify_roles",
+    "iter_epochs",
+    "unit_role",
+    "DEFAULT_POLICY",
+    "PLAN_POLICIES",
+    "MechPlanner",
+    "plan_epoch",
+]

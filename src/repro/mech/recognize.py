@@ -1,0 +1,249 @@
+"""Persistence-mechanism recognizers.
+
+Every PM file system funnels durable writes through a handful of
+*mechanisms* — journal transactions, log-structured appends, in-place
+commit-pointer updates, replica mirrors, bulk initialization — and real
+crash-consistency bugs cluster at the boundaries of those mechanisms, not
+at arbitrary store subsets (WITCHER and the LeBlanc et al. bug study in
+PAPERS.md).  This module classifies each fence epoch of a recorded
+:class:`~repro.pm.log.PMLog` into a mechanism, using only three inputs
+that already exist for every file system:
+
+* the persistence-function tags on each log entry (``func``),
+* the per-FS ``layout_map()`` region containing each store, and
+* a small per-FS :class:`MechanismHints` declaration living next to the
+  ``layout_map()`` it refines.
+
+The classification is a *partition*: every coalesced replay unit of every
+epoch receives exactly one role, and every epoch receives exactly one
+mechanism kind; anything the recognizers cannot explain — mixed roles,
+stores from several syscalls (stale in-flight windows are how missing-
+fence bugs look), unmapped regions — lands in the ``unstructured``
+fallback, which downstream planning treats as "enumerate like today".
+
+This module deliberately imports nothing from ``repro.fs`` or
+``repro.core`` so the file systems themselves can declare hints without
+an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.pm.log import Fence, NTStore, PMLog, SyscallBegin, SyscallEnd, WriteEntry
+
+#: Unit roles, in recognition-priority order.
+UNIT_ROLES = ("replica", "journal", "commit", "bulk", "append", "other")
+
+#: Epoch mechanism kinds the recognizers can produce.  ``unstructured`` is
+#: the fallback and always legal; the others are claims strong enough to
+#: justify targeted crash plans.
+MECH_KINDS = (
+    "journal_update",
+    "log_append",
+    "log_commit",
+    "replica_update",
+    "bulk_init",
+    "unstructured",
+)
+
+
+@dataclass(frozen=True)
+class MechanismHints:
+    """Per-FS declaration of where each persistence mechanism lives.
+
+    Declared by each file system next to its ``layout_map()`` (see
+    ``FileSystem.mechanism_hints``).  All fields name layout regions as
+    ``layout_map().region_of()`` spells them; an empty tuple means the FS
+    does not use that mechanism.
+    """
+
+    #: Regions holding journal/undo-log/redo-log transaction records.
+    journal_regions: Tuple[str, ...] = ()
+    #: Regions where log-structured entries are appended (per-inode logs,
+    #: operation logs).  Large NT stores here are file data; small writes
+    #: are log entries.
+    append_regions: Tuple[str, ...] = ()
+    #: Regions whose small in-place writes act as commit pointers (e.g.
+    #: NOVA's inode-table tail updates making appended entries reachable).
+    commit_regions: Tuple[str, ...] = ()
+    #: Regions holding shadow/replica copies of primary structures.
+    replica_regions: Tuple[str, ...] = ()
+    #: NT stores at least this large are bulk data initialization
+    #: (matches the replayer's coalescing threshold).
+    bulk_threshold: int = 256
+    #: Per-kind crash-plan policy overrides (``mech/plans.py`` policy
+    #: names); absent kinds use the conservative defaults.  This is how a
+    #: file system with, say, a redo journal that ignores uncommitted
+    #: records opts into more aggressive pruning than an undo-journal FS
+    #: can tolerate.
+    plan_overrides: Mapping[str, str] = field(default_factory=dict)
+    #: Opt into the cross-epoch boundary-redundancy rules of
+    #: :class:`repro.mech.plans.MechPlanner`: journal-transaction phase
+    #: tracking and fresh-append visibility, which let the planner drop
+    #: empty combos that duplicate already-emitted boundary states.  Only
+    #: sound for file systems whose recovery provably ignores
+    #: uncommitted journal records and unreachable log tails.
+    sequence_rules: bool = False
+
+
+@dataclass(frozen=True)
+class EpochClass:
+    """Classification of one fence epoch's in-flight store group."""
+
+    fence_index: int
+    kind: str
+    #: One role per coalesced replay unit, in program order — the partition
+    #: the property tests pin (each unit classified exactly once).
+    roles: Tuple[str, ...]
+    #: Distinct syscall indices whose stores share the epoch (>1 is itself
+    #: an anomaly: a fence should retire one operation's stores).
+    syscalls: Tuple[int, ...] = ()
+    #: A ``SyscallEnd`` marker fell inside this epoch's fence window.  The
+    #: replayer's persistent base only advances at fences, so the
+    #: post-syscall state it emitted there is byte-identical to this
+    #: epoch's empty combo — which boundary-redundancy rules may then drop.
+    post_aligned: bool = False
+
+    @property
+    def n_units(self) -> int:
+        return len(self.roles)
+
+
+def unit_role(
+    unit: Sequence[WriteEntry], layout, hints: MechanismHints
+) -> str:
+    """Assign one mechanism role to a coalesced replay unit.
+
+    ``layout`` is duck-typed: only ``region_of(addr)`` is used.  The unit's
+    first entry decides (coalesced units never straddle regions in this
+    codebase: coalescing only merges address-contiguous data stores).
+    """
+    head = unit[0]
+    region = layout.region_of(head.addr)
+    if region in hints.replica_regions:
+        return "replica"
+    if region in hints.journal_regions:
+        return "journal"
+    total = sum(len(e.data) for e in unit)
+    is_bulk = (
+        isinstance(head, NTStore)
+        and (len(unit) > 1 or total >= hints.bulk_threshold)
+    )
+    if region in hints.commit_regions and not is_bulk:
+        return "commit"
+    if is_bulk:
+        return "bulk"
+    if region in hints.append_regions:
+        return "append"
+    return "other"
+
+
+def classify_roles(roles: Sequence[str], n_syscalls: int) -> str:
+    """Fold a program-ordered role sequence into an epoch mechanism kind.
+
+    The rules are conjunctive and conservative: any role mix the table
+    below does not explicitly claim — in particular anything containing an
+    ``other`` unit, or stores left in flight across a syscall boundary —
+    is ``unstructured``.
+    """
+    if not roles:
+        return "unstructured"
+    if n_syscalls > 1:
+        # Stores from several syscalls share the window: a fence is
+        # missing somewhere (that is what several Table-1 bugs look like),
+        # so no mechanism claim is safe.
+        return "unstructured"
+    kinds = set(roles)
+    if "other" in kinds:
+        return "unstructured"
+    if "replica" in kinds:
+        # Primary+replica mirror updates, possibly with their commit write.
+        if kinds <= {"replica", "commit", "journal", "append", "bulk"}:
+            return "replica_update"
+        return "unstructured"
+    if kinds == {"journal"}:
+        return "journal_update"
+    if "journal" in kinds:
+        # Journal records mixed with in-place or data writes in a single
+        # epoch: the transaction discipline (records persist strictly
+        # before their protected writes) is broken or being broken.
+        return "unstructured"
+    if "commit" in kinds:
+        # Appends/data plus the in-place pointer that commits them; a
+        # pure-commit epoch is the second half of the same mechanism.
+        return "log_commit"
+    if kinds == {"bulk"}:
+        return "bulk_init"
+    # Remaining mixes are {append} or {append, bulk}: log-structured
+    # appends, optionally alongside the data blocks they describe.
+    return "log_append"
+
+
+def iter_epochs(
+    log: PMLog,
+    layout,
+    hints: MechanismHints,
+    coalesce_units,
+    coalesce_threshold: int = 256,
+):
+    """Walk a recorded log, yielding ``(EpochClass, units)`` per epoch.
+
+    ``coalesce_units`` is injected (normally
+    :func:`repro.core.replayer.coalesce_units`) so the grouping here is
+    *identical* to the replayer's — the plan indices line up by
+    construction.  The walk covers every epoch that has in-flight
+    writes, including the trailing partial epoch after the last fence,
+    keyed by ``fence_index`` exactly as the replayer counts it.  The
+    yielded ``units`` are the coalesced replay units the roles were
+    assigned to, in program order — the planner needs their raw entries
+    for its visibility analysis.
+    """
+    inflight: List[WriteEntry] = []
+    fence_index = 0
+    saw_syscall_end = False
+
+    def flush_epoch():
+        units = coalesce_units(inflight, coalesce_threshold)
+        roles = tuple(unit_role(unit, layout, hints) for unit in units)
+        syscalls = tuple(sorted({
+            e.syscall for e in inflight if e.syscall is not None
+        }))
+        kind = classify_roles(roles, len(syscalls))
+        return (
+            EpochClass(fence_index, kind, roles, syscalls, saw_syscall_end),
+            units,
+        )
+
+    for entry in log:
+        if isinstance(entry, SyscallBegin):
+            continue
+        if isinstance(entry, SyscallEnd):
+            saw_syscall_end = True
+        elif isinstance(entry, Fence):
+            if inflight:
+                yield flush_epoch()
+            inflight.clear()
+            fence_index += 1
+            saw_syscall_end = False
+        else:
+            inflight.append(entry)
+    if inflight:
+        yield flush_epoch()
+
+
+def classify_log(
+    log: PMLog,
+    layout,
+    hints: MechanismHints,
+    coalesce_units,
+    coalesce_threshold: int = 256,
+) -> List[EpochClass]:
+    """Classify every fence epoch of a recorded log (see :func:`iter_epochs`)."""
+    return [
+        epoch
+        for epoch, _units in iter_epochs(
+            log, layout, hints, coalesce_units, coalesce_threshold
+        )
+    ]

@@ -1,12 +1,12 @@
 """Memo-miss attribution: *why* did a check-memo lookup miss?
 
 The delta-replay memo (:class:`repro.core.checker.CheckMemo`) keys crash
-states by an O(overlay) content address whose equality implies
-byte-identical images — the safe direction — but whose converse does not
-hold: byte-identical images can carry different overlay shapes and miss.
-Every remaining ROADMAP lever (digest canonicalization, WITCHER-style
-output-equivalence pruning) needs to know how big that gap actually is,
-per reason.  This module classifies every miss into exactly one of:
+states by the canonical byte-granular content address
+(:meth:`MemoAttribution.content_key`): equality implies byte-identical
+images, and — because the key flattens the overlay down to the exact byte
+diff from base — every overlay shape that materializes the same bytes
+produces the same key.  This module classifies every remaining miss into
+exactly one of:
 
 ``cold_base``
     The fence base's content digest had never been seen — the first state
@@ -14,15 +14,18 @@ per reason.  This module classifies every miss into exactly one of:
 ``overlay_shape``
     The *materialized* content (base + exact byte diff, via
     :func:`repro.pm.image.flatten_overlay`) was already checked under the
-    same syscall context, but the overlay partitioned the same bytes into
-    different ranges, so the range-wise digest differed.  Pure
-    canonicalization headroom.
+    same syscall context, but the memo's key still differed.  With the
+    canonical content key this is structurally unreachable; it was the
+    dominant avoidable class under the earlier range-wise digest keying
+    and is kept as a regression sentinel — a nonzero count means the key
+    stopped being a pure function of the bytes.
 ``noop_write_perturbation``
     Same as ``overlay_shape``, except the incoming overlay carries
     *residual* no-op bytes — bytes it writes that equal the base — which
     whole-write dropping (:meth:`repro.pm.image.CrashImage.effective_writes`)
     could not remove because they ride inside partially-effective or
-    overlapping writes.  Headroom for byte-granular canonicalization.
+    overlapping writes.  Also a sentinel now: byte-granular flattening
+    drops residual no-op bytes before hashing.
 ``syscall_context``
     The content was seen before, but only under a different
     ``(syscall, mid_syscall, after_syscall)`` context.  A *necessary*
@@ -30,16 +33,16 @@ per reason.  This module classifies every miss into exactly one of:
 ``new_content``
     Genuinely new image content.  Necessary by definition.
 
-Classification is exact, not sampled — the per-miss cost is one
-:func:`~repro.pm.image.flatten_overlay` (O(overlay bytes)) plus a sha1,
-and a miss is immediately followed by a full mount-and-walk check that
-dwarfs both.  The reason counts always sum to the memo's miss count:
-every miss receives exactly one label.
+Classification is exact, not sampled — the memo hands over the content
+key it already computed, so the per-miss cost is set lookups, and a miss
+is immediately followed by a full mount-and-walk check that dwarfs them.
+The reason counts always sum to the memo's miss count: every miss
+receives exactly one label.
 
 The attribution also keeps a colliding-digest table: content keys that
-were checked under more than one distinct range-wise digest (the states a
-canonical content key would have deduplicated).  ``top_collisions`` is the
-direct evidence table for the canonicalization follow-up.
+were checked under more than one distinct memo digest.  Under canonical
+keying the two coincide, so any entry here is the same purity-regression
+signal as a nonzero avoidable reason count.
 """
 
 from __future__ import annotations
@@ -59,8 +62,9 @@ MISS_REASONS = (
     "new_content",
 )
 
-#: Reasons a canonical (byte-granular, shape-independent) content key
-#: would have turned into hits — the measured pruning headroom.
+#: Reasons the canonical (byte-granular, shape-independent) content key
+#: turns into hits.  The memo keys on that address, so these counts are
+#: expected to be zero; nonzero is a key-purity regression.
 AVOIDABLE_REASONS = ("overlay_shape", "noop_write_perturbation")
 
 
@@ -134,17 +138,22 @@ class MemoAttribution:
         return covered - diff_bytes
 
     # ------------------------------------------------------------------
-    def classify_miss(self, state, memo_digest: bytes) -> str:
+    def classify_miss(
+        self, state, memo_digest: bytes, ckey: Optional[bytes] = None
+    ) -> str:
         """Label one miss; record the state for future classifications.
 
         ``memo_digest`` is the content-address component of the memo key
-        that just missed (the range-wise delta digest, or the eager image
-        sha1) — it feeds the colliding-digest table.
+        that just missed — it feeds the colliding-digest table.  When the
+        memo already keys on the canonical content address it passes it as
+        ``ckey`` so the overlay is never flattened twice; legacy callers
+        (range-wise or eager keying) omit it and the key is derived here.
         """
         image = state.image
         context = (state.syscall, state.mid_syscall, state.after_syscall)
         is_delta = isinstance(image, CrashImage)
-        ckey = self.content_key(image)
+        if ckey is None:
+            ckey = self.content_key(image)
         if is_delta and image.base.digest not in self._bases:
             reason = "cold_base"
         elif ckey in self._contexts:

@@ -83,6 +83,18 @@ class CampaignStats:
     #: Distinct recovered outcomes among checked states (summed per
     #: workload — outcomes are not deduplicated across workloads).
     n_unique_outcomes: int = 0
+    #: Crash-plan mode the campaign ran under ("subset" | "mech"; "?" until
+    #: the first result arrives, "mixed" if results disagree).
+    crash_plans: str = "?"
+    #: Mechanism recognition (``mech.recognized.{kind}``): fence epochs per
+    #: recognized mechanism kind, across all workloads.
+    mech_recognized: Dict[str, int] = field(default_factory=dict)
+    #: Targeted crash states emitted from mechanism plans
+    #: (``mech.plans.emitted``).
+    n_mech_plans_emitted: int = 0
+    #: Epochs the recognizers could not explain, enumerated as full
+    #: subsets (``mech.fallback_epochs``).
+    n_mech_fallback_epochs: int = 0
     wall_time: float = 0.0
     stage_totals: Dict[str, float] = field(default_factory=dict)
     outcome_counts: Dict[str, int] = field(default_factory=dict)
@@ -113,6 +125,12 @@ class CampaignStats:
             self.memo_miss_reasons[reason] = (
                 self.memo_miss_reasons.get(reason, 0) + n
             )
+        self._fold_mech(
+            getattr(result, "crash_plans", "subset"),
+            getattr(result, "mech_recognized", {}),
+            getattr(result, "mech_plans_emitted", 0),
+            getattr(result, "mech_fallback_epochs", 0),
+        )
         self.wall_time += result.elapsed
         if getattr(result, "truncated", False):
             self.n_truncated += 1
@@ -136,6 +154,24 @@ class CampaignStats:
                 "cluster_found", cluster=cluster, workload=workload,
                 t=t, consequence=consequence,
             )
+
+    def _fold_mech(
+        self,
+        crash_plans: str,
+        recognized: Dict[str, int],
+        plans_emitted: int,
+        fallback_epochs: int,
+    ) -> None:
+        if self.crash_plans == "?":
+            self.crash_plans = crash_plans
+        elif self.crash_plans != crash_plans:
+            self.crash_plans = "mixed"
+        for kind, n in dict(recognized).items():
+            self.mech_recognized[str(kind)] = (
+                self.mech_recognized.get(str(kind), 0) + int(n)
+            )
+        self.n_mech_plans_emitted += int(plans_emitted)
+        self.n_mech_fallback_epochs += int(fallback_epochs)
 
     def _merge_inflight(self, fs: str, per_syscall: Dict[str, List[int]]) -> None:
         if not per_syscall:
@@ -233,6 +269,12 @@ class CampaignStats:
             self.memo_miss_reasons[str(reason)] = (
                 self.memo_miss_reasons.get(str(reason), 0) + int(n)
             )
+        self._fold_mech(
+            str(fields.get("crash_plans", "subset")),
+            dict(fields.get("mech_recognized", {})),
+            int(fields.get("mech_plans_emitted", 0)),
+            int(fields.get("mech_fallback_epochs", 0)),
+        )
         self.wall_time += float(fields.get("elapsed", 0.0))
         if fields.get("truncated"):
             self.n_truncated += 1
@@ -272,6 +314,10 @@ class CampaignStats:
             "memo_hit_rate": self.memo_hit_rate,
             "memo_miss_reasons": dict(self.memo_miss_reasons),
             "memo_noop_writes_dropped": self.n_memo_noop_dropped,
+            "crash_plans": self.crash_plans,
+            "mech_recognized": dict(self.mech_recognized),
+            "mech_plans_emitted": self.n_mech_plans_emitted,
+            "mech_fallback_epochs": self.n_mech_fallback_epochs,
             "unique_outcomes": self.n_unique_outcomes,
             "fences": self.n_fences,
             "reports": self.n_reports,
@@ -339,6 +385,19 @@ class CampaignStats:
                 f"recovered outcomes: {self.n_unique_outcomes} distinct of "
                 f"{self.n_memo_misses} checked (equivalence-pruning headroom "
                 f"{(1 - self.n_unique_outcomes / self.n_memo_misses) * 100:.1f}%)"
+            )
+        if self.mech_recognized:
+            ordered = sorted(
+                self.mech_recognized.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            lines.append(
+                f"mechanism recognition (--crash-plans {self.crash_plans}): "
+                + ", ".join(f"{kind} {n}" for kind, n in ordered)
+            )
+            lines.append(
+                f"mech plans: {self.n_mech_plans_emitted} targeted state(s) "
+                f"emitted, {self.n_mech_fallback_epochs} epoch(s) fell back "
+                f"to subset enumeration"
             )
         lines.append("")
         lines.append("Per-stage timings")

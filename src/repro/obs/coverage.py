@@ -128,6 +128,13 @@ class CoverageReport:
     collisions: Dict[str, int] = field(default_factory=dict)
     unique_outcomes: int = 0
 
+    #: Crash-plan mode ("subset" | "mech" | "mixed"; "?" until data arrives).
+    crash_plans: str = "?"
+    #: mechanism kind -> fence epochs recognized as that kind.
+    mech_recognized: Dict[str, int] = field(default_factory=dict)
+    mech_plans_emitted: int = 0
+    mech_fallback_epochs: int = 0
+
     recovery: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -158,6 +165,17 @@ class CoverageReport:
         for pair in list(fields.get("memo_collisions", [])):
             key, count = str(pair[0]), int(pair[1])
             self.collisions[key] = max(self.collisions.get(key, 0), count)
+        mode = str(fields.get("crash_plans", "subset"))
+        if self.crash_plans == "?":
+            self.crash_plans = mode
+        elif self.crash_plans != mode:
+            self.crash_plans = "mixed"
+        for kind, n in dict(fields.get("mech_recognized", {})).items():
+            self.mech_recognized[str(kind)] = (
+                self.mech_recognized.get(str(kind), 0) + int(n)
+            )
+        self.mech_plans_emitted += int(fields.get("mech_plans_emitted", 0))
+        self.mech_fallback_epochs += int(fields.get("mech_fallback_epochs", 0))
         stores = 0
         for func, mix in dict(fields.get("persistence", {})).items():
             mix = dict(mix)
@@ -214,6 +232,15 @@ class CoverageReport:
         return 1.0 - self.unique_outcomes / self.states_checked
 
     @property
+    def mech_recognized_fraction(self) -> float:
+        """Fraction of classified epochs explained by a real mechanism
+        (anything but the ``unstructured`` fallback kind)."""
+        total = sum(self.mech_recognized.values())
+        if not total:
+            return 0.0
+        return 1.0 - self.mech_recognized.get("unstructured", 0) / total
+
+    @property
     def recovery_unread_fraction(self) -> float:
         """Fraction of stored cache lines recovery never reads."""
         stored = self.recovery.get("store_lines", 0)
@@ -254,6 +281,11 @@ class CoverageReport:
             ),
             "unique_outcomes": self.unique_outcomes,
             "outcome_headroom": self.outcome_headroom,
+            "crash_plans": self.crash_plans,
+            "mech_recognized": dict(self.mech_recognized),
+            "mech_plans_emitted": self.mech_plans_emitted,
+            "mech_fallback_epochs": self.mech_fallback_epochs,
+            "mech_recognized_fraction": self.mech_recognized_fraction,
             "fences_per_workload": list(self.fences_per_workload),
             "stores_per_workload": list(self.stores_per_workload),
             "persistence": {k: dict(v) for k, v in self.persistence.items()},
@@ -374,6 +406,31 @@ class CoverageReport:
             lines.append("(no persistence data)")
         lines.append("")
 
+        lines.append("## Mechanism recognition")
+        lines.append("")
+        if self.mech_recognized:
+            total = sum(self.mech_recognized.values()) or 1
+            lines.append(
+                f"Crash-plan mode: `{self.crash_plans}` — "
+                f"{self.mech_recognized_fraction * 100:.1f}% of {total} "
+                f"classified epoch(s) explained by a recognized mechanism; "
+                f"{self.mech_plans_emitted} targeted state(s) emitted, "
+                f"{self.mech_fallback_epochs} epoch(s) fell back to subset "
+                f"enumeration."
+            )
+            lines.append("")
+            lines.append("| mechanism kind | epochs | share |")
+            lines.append("| --- | ---: | ---: |")
+            for kind, n in sorted(
+                self.mech_recognized.items(), key=lambda kv: (-kv[1], kv[0])
+            ):
+                lines.append(f"| `{kind}` | {n} | {n / total * 100:.1f}% |")
+        else:
+            lines.append(
+                "(no mechanism data — run with `--crash-plans mech`)"
+            )
+        lines.append("")
+
         lines.append("## Store placement by layout region")
         lines.append("")
         if self.store_regions:
@@ -407,11 +464,13 @@ class CoverageReport:
                 f"{check} `checker.memo.misses` ({self.memo_misses}) {mark}."
             )
             lines.append(
-                f"Avoidable with a canonical content key: "
-                f"{self.avoidable_misses} miss(es) "
-                f"(`overlay_shape` + `noop_write_perturbation`); "
-                f"{self.memo_noop_dropped} no-op overlay write(s) already "
-                f"dropped before digesting."
+                f"Canonical-key sentinel misses: "
+                f"{self.avoidable_misses} "
+                f"(`overlay_shape` + `noop_write_perturbation` — the memo "
+                f"keys on the byte-granular content address, so any "
+                f"nonzero count is a key-purity regression); "
+                f"{self.memo_noop_dropped} no-op overlay write(s) dropped "
+                f"before digesting."
             )
             lines.append("")
             if self.collisions:

@@ -458,6 +458,40 @@ class TestCheckMemo:
             memo = CheckMemo(checker=None, delta=False)
             assert memo.key_of(state) == eager_key
 
+    def test_canonical_key_ignores_overlay_shape(self):
+        """Two overlays that materialize the same bytes share a memo key
+        regardless of how the writes are partitioned or how many residual
+        no-op bytes they carry — the former ``overlay_shape`` and
+        ``noop_write_perturbation`` misses are hits now."""
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class S:
+            image: object
+            syscall: object = 1
+            mid_syscall: bool = True
+            after_syscall: int = -1
+
+        base = FenceBase(bytes(range(256)) * 4)
+        memo = CheckMemo(checker=None)
+        one = CrashImage(base, ((0, b"\xff\xfe"),))
+        split = CrashImage(base, ((0, b"\xff"), (1, b"\xfe")))
+        noisy = CrashImage(base, ((0, b"\xff\xfe" + bytes(range(2, 4))),))
+        assert memo.key_of(S(one)) == memo.key_of(S(split))
+        assert memo.key_of(S(one)) == memo.key_of(S(noisy))
+        assert bytes(one) == bytes(split) == bytes(noisy)
+        different = CrashImage(base, ((0, b"\xff\xfd"),))
+        assert memo.key_of(S(one)) != memo.key_of(S(different))
+
+    def test_no_sentinel_misses_live(self):
+        """A live memoized campaign records zero avoidable misses and no
+        colliding content keys: the memo keys on the canonical content
+        address, so both would be key-purity regressions."""
+        result = self._run(True)
+        assert result.memo_miss_reasons.get("overlay_shape", 0) == 0
+        assert result.memo_miss_reasons.get("noop_write_perturbation", 0) == 0
+        assert result.memo_collisions == []
+
 
 class TestCowCheckIsolation:
     def test_checker_mutations_do_not_leak_between_states(self):

@@ -4,6 +4,7 @@ import pytest
 
 from conftest import TEST_DEVICE_SIZE, make_fixed_fs
 from repro.core.recovery_reads import (
+    OverlayReadTrackingDevice,
     ReadTrackingDevice,
     rank_units,
     recovery_read_set,
@@ -32,6 +33,60 @@ class TestReadTrackingDevice:
         clone = ReadTrackingDevice.from_snapshot(dev.snapshot())
         assert clone.read(7, 4) == b"data"
         assert clone.read_ranges == [(7, 4)]
+
+
+class TestOverlayReadTrackingDevice:
+    def test_reads_through_overlay(self):
+        base = bytes(8192)
+        dev = OverlayReadTrackingDevice(base, [(100, b"abcd"), (102, b"XY")])
+        assert dev.read(100, 4) == b"abXY"  # later writes win, in log order
+        assert dev.read_ranges == [(100, 4)]
+
+    def test_base_never_mutated(self):
+        base = bytes(8192)
+        dev = OverlayReadTrackingDevice(base, [(0, b"hello")])
+        dev.write(4096, b"recovery-write")
+        assert dev.read(4096, 14) == b"recovery-write"
+        assert base == bytes(8192)
+
+    def test_cross_chunk_read(self):
+        chunk = OverlayReadTrackingDevice.CHUNK
+        data = b"Z" * 16
+        dev = OverlayReadTrackingDevice(bytes(4 * chunk), [(chunk - 8, data)])
+        assert dev.read(chunk - 8, 16) == data
+        assert dev.read(0, 2 * chunk) == bytes(chunk - 8) + data + bytes(chunk - 8)
+
+    def test_mount_writes_visible_to_later_reads(self):
+        dev = OverlayReadTrackingDevice(bytes(8192))
+        dev.write(64, b"\x01" * 8)
+        assert dev.read(64, 8) == b"\x01" * 8
+
+    def test_snapshot_matches_flat_application(self):
+        chunk = OverlayReadTrackingDevice.CHUNK
+        base = bytes(range(256)) * (2 * chunk // 256)
+        writes = [(10, b"aa"), (chunk - 1, b"bb"), (chunk + 5, b"c" * 70)]
+        flat = bytearray(base)
+        for addr, data in writes:
+            flat[addr : addr + len(data)] = data
+        dev = OverlayReadTrackingDevice(base, writes)
+        dev.read(0, 16)  # materialize one chunk, leave the other pending
+        assert dev.snapshot() == bytes(flat)
+
+    def test_matches_flat_device_read_set(self):
+        fs = make_fixed_fs("nova")
+        base = fs.device.snapshot()
+        fs.creat("/f")
+        fs.write("/f", 0, b"x" * 512)
+        final = fs.device.snapshot()
+        overlay = []
+        for off in range(0, len(base), 64):
+            if final[off : off + 64] != base[off : off + 64]:
+                overlay.append((off, final[off : off + 64]))
+        flat = recovery_read_set(NovaFS, final, bugs=BugConfig.fixed())
+        lazy = recovery_read_set(
+            NovaFS, base, bugs=BugConfig.fixed(), writes=overlay
+        )
+        assert flat == lazy
 
 
 class TestRecoveryReadSet:

@@ -1,0 +1,71 @@
+"""Mechanism-plan equivalence: ``--crash-plans mech`` must produce the
+same ``bugs.json`` — byte for byte — as the full subset enumeration.
+
+This is the acceptance gate for targeted crash plans: pruning crash
+states a mechanism proves redundant may change how many states a campaign
+checks, but never which bugs it reports, how they cluster, or how the
+exemplars serialize.  Every file-system family runs with its own seeded
+bug set, so the gate covers the buggy recovery paths the plans must not
+hide (e.g. a log slot a commit-ordering bug published early).
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.analysis.reporting import CampaignSummary
+from repro.campaign import CampaignSpec
+from repro.workloads import ace
+
+N = 6
+
+FAMILIES = ("nova", "nova-fortis", "pmfs", "winefs", "splitfs")
+
+
+def bugs_doc(fs, crash_plans, n=N):
+    """The bugs.json document of a serial in-process run."""
+    spec = CampaignSpec(fs=fs, seq=1, max_workloads=n, crash_plans=crash_plans)
+    chipmunk = spec.build_chipmunk()
+    summary = CampaignSummary(fs_name=spec.fs, generator=spec.generator)
+    results = []
+    for w in itertools.islice(ace.generate(spec.seq, mode=spec.mode), n):
+        result = chipmunk.test_workload(w.core, setup=w.setup)
+        results.append(result)
+        summary.add_result(result)
+    doc = json.dumps(
+        {"reports": [c.exemplar.to_dict() for c in summary.clusters]},
+        sort_keys=True,
+    ).encode()
+    return doc, results
+
+
+class TestMechBugSetEquivalence:
+    @pytest.mark.parametrize("fs", FAMILIES)
+    def test_mech_equals_subset(self, fs):
+        subset, _ = bugs_doc(fs, "subset")
+        mech, _ = bugs_doc(fs, "mech")
+        assert mech == subset
+
+    def test_mech_prunes_states_on_nova(self):
+        """The equivalence is not vacuous: on NOVA (sequence rules on) the
+        planner both recognizes mechanisms and emits strictly fewer crash
+        states than the subset enumeration."""
+        _, subset = bugs_doc("nova", "subset")
+        _, mech = bugs_doc("nova", "mech")
+        assert sum(r.n_crash_states for r in mech) < sum(
+            r.n_crash_states for r in subset
+        )
+        assert sum(r.mech_plans_emitted for r in mech) > 0
+        assert any(r.mech_recognized for r in mech)
+        assert all(r.crash_plans == "mech" for r in mech)
+        assert all(r.crash_plans == "subset" for r in subset)
+
+    def test_conservative_family_recognizes_without_claims(self):
+        """A family without sequence rules (NOVA-Fortis) still recognizes
+        epochs; its plans only ever shrink the state count, never grow it."""
+        _, subset = bugs_doc("nova-fortis", "subset", n=3)
+        _, mech = bugs_doc("nova-fortis", "mech", n=3)
+        assert any(r.mech_recognized for r in mech)
+        for a, b in zip(mech, subset):
+            assert a.n_crash_states <= b.n_crash_states

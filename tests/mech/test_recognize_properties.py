@@ -1,0 +1,169 @@
+"""Recognizer partition properties.
+
+The mechanism recognizers must form a *partition*: every coalesced replay
+unit of every fence epoch receives exactly one role, every epoch with
+in-flight writes receives exactly one mechanism kind, and nothing the
+replayer would enumerate is skipped or double-counted — whatever the log
+and whatever the per-FS hints.  These properties are what lets the
+planner treat ``unstructured`` as a safe catch-all: a log the recognizers
+cannot explain still gets the full subset enumeration.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import TEST_DEVICE_SIZE
+from repro.core.replayer import coalesce_units
+from repro.core.triage import layout_map_for
+from repro.mech.recognize import (
+    MECH_KINDS,
+    UNIT_ROLES,
+    MechanismHints,
+    classify_log,
+    classify_roles,
+    iter_epochs,
+    unit_role,
+)
+from repro.pm.log import Fence, Flush, NTStore, PMLog, SyscallEnd, WriteEntry
+
+LAYOUT = layout_map_for("nova", TEST_DEVICE_SIZE)
+REGIONS = tuple(named.name for named in LAYOUT.regions)
+
+
+@st.composite
+def hint_sets(draw):
+    """Arbitrary (possibly nonsensical) per-FS hint declarations."""
+    pick = lambda: tuple(  # noqa: E731
+        r for r in REGIONS if draw(st.booleans())
+    )
+    return MechanismHints(
+        journal_regions=pick(),
+        append_regions=pick(),
+        commit_regions=pick(),
+        replica_regions=pick(),
+        bulk_threshold=draw(st.sampled_from([64, 256, 1024])),
+    )
+
+
+@st.composite
+def pm_logs(draw):
+    """A random log: syscalls containing stores/flushes and fences."""
+    log = PMLog()
+    n_syscalls = draw(st.integers(1, 3))
+    for index in range(n_syscalls):
+        log.syscall_begin(index, draw(st.sampled_from(["creat", "write", "fsync"])))
+        for _ in range(draw(st.integers(0, 5))):
+            kind = draw(st.sampled_from(["store", "flush", "fence"]))
+            if kind == "fence":
+                log.fence()
+            else:
+                addr = draw(st.integers(0, TEST_DEVICE_SIZE // 8 - 64)) * 8
+                length = draw(st.sampled_from([8, 16, 256, 512]))
+                data = bytes([draw(st.integers(1, 255))]) * length
+                if kind == "store":
+                    log.nt_store(addr, data, "persist")
+                else:
+                    log.flush(addr, data, "flush")
+        if draw(st.booleans()):
+            log.fence()
+        log.syscall_end()
+    return log
+
+
+def expected_epochs(log):
+    """Independent walk: fence indices of every window with writes."""
+    indices = []
+    fence_index = 0
+    have_writes = False
+    for entry in log:
+        if isinstance(entry, Fence):
+            if have_writes:
+                indices.append(fence_index)
+            have_writes = False
+            fence_index += 1
+        elif isinstance(entry, WriteEntry):
+            have_writes = True
+    if have_writes:
+        indices.append(fence_index)
+    return indices
+
+
+class TestEpochPartition:
+    @settings(max_examples=60, deadline=None)
+    @given(log=pm_logs(), hints=hint_sets())
+    def test_every_write_epoch_classified_exactly_once(self, log, hints):
+        epochs = classify_log(log, LAYOUT, hints, coalesce_units)
+        assert [e.fence_index for e in epochs] == expected_epochs(log)
+
+    @settings(max_examples=60, deadline=None)
+    @given(log=pm_logs(), hints=hint_sets())
+    def test_one_kind_per_epoch_one_role_per_unit(self, log, hints):
+        for epoch, units in iter_epochs(log, LAYOUT, hints, coalesce_units):
+            assert epoch.kind in MECH_KINDS
+            assert len(epoch.roles) == len(units) == epoch.n_units > 0
+            assert all(role in UNIT_ROLES for role in epoch.roles)
+
+    @settings(max_examples=60, deadline=None)
+    @given(log=pm_logs(), hints=hint_sets())
+    def test_units_match_replayer_grouping(self, log, hints):
+        """The classified units are exactly the replayer's coalesced units
+        for the same window — the plan indices line up by construction."""
+        inflight = []
+        windows = []
+        for entry in log:
+            if isinstance(entry, Fence):
+                if inflight:
+                    windows.append(coalesce_units(inflight, 256))
+                inflight = []
+            elif isinstance(entry, WriteEntry):
+                inflight.append(entry)
+        if inflight:
+            windows.append(coalesce_units(inflight, 256))
+        classified = [
+            units for _epoch, units in iter_epochs(log, LAYOUT, hints, coalesce_units)
+        ]
+        assert [
+            [[(e.addr, e.data) for e in u] for u in w] for w in windows
+        ] == [
+            [[(e.addr, e.data) for e in u] for u in w] for w in classified
+        ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(log=pm_logs(), hints=hint_sets())
+    def test_post_aligned_iff_syscall_end_in_window(self, log, hints):
+        ends = set()
+        fence_index = 0
+        saw_end = False
+        per_window = {}
+        for entry in log:
+            if isinstance(entry, SyscallEnd):
+                saw_end = True
+            elif isinstance(entry, Fence):
+                per_window[fence_index] = saw_end
+                saw_end = False
+                fence_index += 1
+        per_window[fence_index] = saw_end
+        for epoch in classify_log(log, LAYOUT, hints, coalesce_units):
+            assert epoch.post_aligned == per_window[epoch.fence_index], ends
+
+
+class TestRoleTotality:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        addr=st.integers(0, TEST_DEVICE_SIZE // 8 - 64),
+        length=st.sampled_from([8, 16, 64, 256, 1024]),
+        nt=st.booleans(),
+        hints=hint_sets(),
+    )
+    def test_unit_role_total_function(self, addr, length, nt, hints):
+        cls = NTStore if nt else Flush
+        entry = cls(addr * 8, b"\x01" * length, "f", 0)
+        assert unit_role([entry], LAYOUT, hints) in UNIT_ROLES
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        roles=st.lists(st.sampled_from(UNIT_ROLES), max_size=6),
+        n_syscalls=st.integers(0, 3),
+    )
+    def test_classify_roles_total_function(self, roles, n_syscalls):
+        assert classify_roles(roles, n_syscalls) in MECH_KINDS
