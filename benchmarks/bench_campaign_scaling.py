@@ -86,6 +86,25 @@ def test_bench_campaign_scaling(benchmark, tmp_path):
         rows,
     )
 
+    best_speedup = max(serial_wall / wall for _, wall, _ in parallel)
+
+    # Ledger append happens before the assertions so a failing gate still
+    # leaves the run's numbers in the history.
+    from repro.obs.history import append_record
+
+    metrics = {
+        "workloads": serial_summary.workloads_tested,
+        "serial_seconds": serial_wall,
+        "best_speedup": best_speedup,
+    }
+    for workers, wall, _ in parallel:
+        metrics[f"workers_{workers}_seconds"] = wall
+    append_record(
+        "BENCH_history.jsonl", "campaign_scaling", metrics,
+        config={"cpus": cpus, "max_workloads": MAX_WORKLOADS,
+                "worker_counts": list(WORKER_COUNTS)},
+    )
+
     # Correctness is unconditional: every worker count must reproduce the
     # serial bug set, workload-for-workload.
     serial_fp = _fingerprint(serial_summary.clusters)
@@ -97,7 +116,6 @@ def test_bench_campaign_scaling(benchmark, tmp_path):
         assert not merged.quarantined
 
     # Speedup is conditional on real parallelism being available.
-    best_speedup = max(serial_wall / wall for _, wall, _ in parallel)
     if cpus >= 4:
         assert best_speedup >= 2.0, (
             f"expected >=2x speedup with {cpus} CPUs, got {best_speedup:.2f}x"

@@ -198,14 +198,38 @@ def measure_mech(device_size=256 * KIB):
 
 
 def run_bench(sizes, rounds=3):
+    from repro.obs.history import host_fingerprint
+
     results = [measure_size(size, rounds=rounds) for size in sizes]
     return {
         "workload": describe_workload(SEQ2.core),
         "fs": "nova",
+        "host": host_fingerprint(),
         "memo_hit_rate": results[-1]["delta"]["memo_hit_rate"],
         "results": results,
         "mech": measure_mech(),
     }
+
+
+def record_history(doc, ledger, smoke=False):
+    """Append this run's gate-size metrics to the benchmark history ledger."""
+    from repro.obs.history import append_record
+
+    gate = doc["results"][-1]
+    metrics = {
+        "n_states": gate["n_states"],
+        "eager": gate["eager"],
+        "delta": gate["delta"],
+        "speedup": gate["speedup"],
+        "mech_mid_states_ratio": doc["mech"]["fixed"]["mid_states_ratio"],
+    }
+    config = {
+        "device_size": gate["device_size"],
+        "smoke": smoke,
+        "workload": doc["workload"],
+    }
+    append_record(ledger, "replay_delta", metrics, config=config)
+    print(f"appended replay_delta record to {ledger}")
 
 
 def render(doc):
@@ -266,6 +290,7 @@ def test_bench_replay_delta(benchmark):
     doc = run_once(benchmark, lambda: run_bench(SIZES))
     render(doc)
     write_json(doc, "BENCH_replay.json")
+    record_history(doc, "BENCH_history.jsonl")
     gate = doc["results"][-1]
     assert gate["device_size"] == 16 * MIB
     assert gate["speedup"] >= MIN_SPEEDUP, (
@@ -286,6 +311,11 @@ def main(argv=None):
                         help="small device only, one round (CI gate)")
     parser.add_argument("--out", default="BENCH_replay.json",
                         help="output JSON path")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="benchmark history ledger to append to "
+                        "(see `python -m repro perf`)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the history-ledger append")
     args = parser.parse_args(argv)
     if args.smoke:
         doc = run_bench(SMOKE_SIZES, rounds=1)
@@ -293,6 +323,8 @@ def main(argv=None):
         doc = run_bench(SIZES)
     render(doc)
     write_json(doc, args.out)
+    if not args.no_history:
+        record_history(doc, args.history, smoke=args.smoke)
     mech_gate = doc["mech"]["fixed"]["mid_states_ratio"]
     if mech_gate < MECH_MIN_REDUCTION:
         print(f"FAIL: mech mid-syscall reduction {mech_gate:.1f}x "

@@ -75,6 +75,51 @@ def test_bench_telemetry_overhead(benchmark):
     )
 
 
+def test_bench_profile_overhead(benchmark):
+    """Hot-path profiling must be pay-for-what-you-use.
+
+    Disabled (the default) the instrumented sites cost one module-global
+    read and an ``is None`` check each — that must stay inside the same
+    <10% ceiling as null telemetry.  Enabled profiling adds two
+    ``perf_counter`` reads and a dict update per hot call; the byte-copy
+    work it measures dwarfs that, so a 1.25x ceiling has ample headroom.
+    """
+
+    def experiment():
+        baseline = best_of(_pipeline(), rounds=ROUNDS)
+        disabled = best_of(
+            _pipeline(config=ChipmunkConfig(profile=False)), rounds=ROUNDS
+        )
+        enabled = best_of(
+            _pipeline(config=ChipmunkConfig(profile=True)), rounds=ROUNDS
+        )
+        return baseline, disabled, enabled
+
+    baseline, disabled, enabled = run_once(benchmark, experiment)
+
+    rows = [
+        ("default (profile off)", f"{baseline * 1000:.2f}", "1.00x"),
+        ("explicit profile=False", f"{disabled * 1000:.2f}",
+         f"{disabled / baseline:.2f}x"),
+        ("profile=True", f"{enabled * 1000:.2f}",
+         f"{enabled / baseline:.2f}x"),
+    ]
+    print_table(
+        "Profiler overhead: 5-op pipeline workload (nova, fixed)",
+        ("configuration", "best-of-%d (ms)" % ROUNDS, "relative"),
+        rows,
+    )
+
+    assert disabled < baseline * 1.10, (
+        f"disabled profiling must stay within 10% of the default path "
+        f"({disabled * 1000:.2f}ms vs {baseline * 1000:.2f}ms)"
+    )
+    assert enabled < baseline * 1.25, (
+        f"enabled profiling overhead out of bounds "
+        f"({enabled * 1000:.2f}ms vs {baseline * 1000:.2f}ms)"
+    )
+
+
 def test_bench_forensics_overhead(benchmark):
     """Forensics capture must be pay-for-what-you-use, like telemetry.
 

@@ -30,6 +30,23 @@ Commands
     Live dashboard for a running campaign directory: progress, throughput,
     ETA, per-worker liveness, memo hit-rate, bugs so far.  Exits when the
     campaign completes (``--once`` renders a single frame).
+``diff``
+    Compare two campaigns (directories, ``bugs.json`` files, or telemetry
+    traces): bug clusters are matched through the provenance-aware triage
+    layer and classified appeared/disappeared/persisting, headline metrics
+    are reported as deltas.  Exits non-zero on bug-set divergence;
+    ``--strict`` additionally demands byte-level report equality (the old
+    ``cmp bugs.json`` CI contract).
+``profile``
+    Run workloads with the hot-path profiler enabled and print per-stage /
+    per-callsite wall-time and byte attribution (bytes materialized,
+    overlay bytes applied, digest bytes hashed, rollback bytes);
+    ``--chrome OUT`` also exports the span timeline as a Chrome trace.
+``perf``
+    Render the append-only benchmark history ledger
+    (``BENCH_history.jsonl``): per-bench trend tables plus regression
+    flagging against the same-host median; ``--check`` turns flags into a
+    non-zero exit for CI.
 ``explain``
     Offline bug forensics: rebuild the crash state of a saved report
     (``--save-reports`` / a campaign's ``bugs.json``), confirm it still
@@ -63,6 +80,9 @@ Examples
     python -m repro watch /tmp/camp --interval 2
     python -m repro ace nova --seq 2 --save-reports /tmp/bugs.json
     python -m repro explain /tmp/bugs.json --minimize --chrome /tmp/bug.trace
+    python -m repro diff /tmp/camp-subset /tmp/camp-mech --strict --out diff.md
+    python -m repro profile nova --max-workloads 10 --out profile.md
+    python -m repro perf BENCH_history.jsonl --check
 """
 
 from __future__ import annotations
@@ -330,6 +350,7 @@ def cmd_campaign(args) -> int:
             trace=args.trace,
             memoize=args.memoize,
             crash_plans=args.crash_plans,
+            profile=args.profile,
         )
     engine = CampaignEngine(
         spec,
@@ -491,6 +512,176 @@ def cmd_watch(args) -> int:
         once=args.once,
         timeout=args.timeout,
     )
+
+
+def cmd_diff(args) -> int:
+    from repro.obs.diff import diff_sides, load_side, render_diff
+
+    try:
+        side_a = load_side(args.a)
+        side_b = load_side(args.b)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read diff input: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+        print(f"error: not a campaign/report input: {exc}", file=sys.stderr)
+        return 2
+    try:
+        diff = diff_sides(side_a, side_b, strict=args.strict)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    text = render_diff(diff, tol=args.tol)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        except OSError as exc:
+            print(f"error: cannot write {args.out!r}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"[diff] wrote {args.out}")
+    else:
+        print(text)
+    if diff.clusters_compared or diff.strict_equal is not None:
+        if diff.clusters_compared:
+            print(
+                f"[diff] {len(diff.appeared)} appeared, "
+                f"{len(diff.disappeared)} disappeared, "
+                f"{len(diff.persisting)} persisting — "
+                + ("DIVERGENT" if diff.divergent else "bug sets match")
+            )
+        return 1 if diff.divergent else 0
+    # Trace-vs-trace comparison: metric deltas only, nothing to gate on.
+    print("[diff] metrics-only comparison (no reports on either side)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.obs.profile import merge_profiles, render_profile
+
+    tel = _telemetry_for(args, "profile")
+    if args.chrome and tel is None:
+        # The Chrome export rides on the span layer, so force telemetry on
+        # even when --trace/--metrics were not requested.
+        tel = Telemetry()
+        tel.meta.update(fs=args.fs, generator="profile")
+    chipmunk = Chipmunk(
+        args.fs,
+        bugs=_bug_config(args.fs, args.bugs, args.fixed),
+        config=ChipmunkConfig(
+            cap=args.cap,
+            memoize=args.memoize,
+            crash_plans=args.crash_plans,
+            profile=True,
+        ),
+        telemetry=tel,
+    )
+    results: List = []
+    interrupted = False
+    try:
+        if args.op:
+            results.append(chipmunk.test_workload(args.op))
+        else:
+            mode = "pm" if FS_CLASSES()[args.fs].strong_guarantees else "fsync"
+            for seq in range(1, args.seq + 1):
+                workloads = ace.generate(seq, mode=mode)
+                if args.max_workloads:
+                    workloads = itertools.islice(workloads, args.max_workloads)
+                for w in workloads:
+                    results.append(chipmunk.test_workload(w.core, setup=w.setup))
+    except KeyboardInterrupt:
+        interrupted = True
+        print("\n[interrupted] rendering partial profile", file=sys.stderr)
+    if not results:
+        print("error: no workloads ran", file=sys.stderr)
+        return 2
+    merged = merge_profiles([r.profile for r in results if r.profile])
+    elapsed = sum(r.elapsed for r in results)
+    states = sum(r.n_crash_states for r in results)
+    stages = dict(merged.get("stages", {}))
+    attributed = sum(t for s, t in stages.items() if s != "other")
+    share = attributed / elapsed if elapsed else 0.0
+    header = [
+        f"# Profile: {args.fs}",
+        "",
+        f"- workloads: {len(results)}",
+        f"- crash states: {states}",
+        f"- harness elapsed: {elapsed:.4f}s",
+        f"- attributed to pipeline stages: {attributed:.4f}s "
+        f"({share * 100:.1f}% of elapsed)",
+        "",
+        "",
+    ]
+    text = "\n".join(header) + render_profile(merged, top=args.top)
+    if args.json:
+        print(json.dumps(merged, sort_keys=True, indent=2))
+    elif args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        except OSError as exc:
+            print(f"error: cannot write {args.out!r}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"[profile] wrote {args.out} ({len(results)} workload(s), "
+              f"{states} crash state(s))")
+    else:
+        print(text)
+    if args.chrome and tel is not None:
+        from repro.obs.tracing import spans_to_chrome
+
+        doc = spans_to_chrome(tel.export_records())
+        try:
+            with open(args.chrome, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+        except OSError as exc:
+            print(f"error: cannot write {args.chrome!r}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 2
+        print(f"[profile] wrote {len(doc['traceEvents'])} Chrome trace "
+              f"event(s) to {args.chrome}")
+    _finish_telemetry(args, tel)
+    return 130 if interrupted else 0
+
+
+def cmd_perf(args) -> int:
+    from repro.obs.history import (
+        DEFAULT_LEDGER,
+        check_regressions,
+        read_ledger,
+        render_history,
+    )
+
+    path = args.ledger or DEFAULT_LEDGER
+    try:
+        records, torn = read_ledger(path)
+    except OSError as exc:
+        print(f"error: cannot read {path!r}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    if not records:
+        print(f"error: no ledger records in {path!r} (benchmarks append "
+              "to the ledger when run with --history)", file=sys.stderr)
+        return 2
+    if torn:
+        print(f"[perf] warning: skipped {torn} torn/unparsable line(s)",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps(records, sort_keys=True, indent=2))
+        return 0
+    print(render_history(records, last=args.last, bench=args.bench,
+                         tol=args.tol))
+    if args.check:
+        flags = check_regressions(records, tol=args.tol, last=args.last)
+        if args.bench:
+            flags = [f for f in flags if f["bench"] == args.bench]
+        return 1 if flags else 0
+    return 0
 
 
 def cmd_explain(args) -> int:
@@ -751,6 +942,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--trace", action="store_true",
                         help="write per-worker telemetry traces plus a "
                         "merged trace.jsonl into the campaign directory")
+    p_camp.add_argument("--profile", action="store_true",
+                        help="enable hot-path time/byte attribution in "
+                        "every worker (recorded per result; see "
+                        "`python -m repro profile`)")
 
     p_stats = sub.add_parser(
         "stats",
@@ -813,6 +1008,94 @@ def build_parser() -> argparse.ArgumentParser:
     p_watch.add_argument(
         "--timeout", type=float, default=None,
         help="give up (exit 3) after this many seconds without completion",
+    )
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="compare two campaigns: bug-cluster divergence (exit status) "
+        "plus metric deltas",
+    )
+    p_diff.add_argument(
+        "a", metavar="A",
+        help="baseline: campaign directory, bugs.json-style report file, "
+        "or JSONL telemetry trace",
+    )
+    p_diff.add_argument(
+        "b", metavar="B",
+        help="candidate: campaign directory, report file, or trace",
+    )
+    p_diff.add_argument(
+        "--strict", action="store_true",
+        help="additionally require the serialized report lists to be equal "
+        "object-for-object (the byte-level `cmp bugs.json` contract)",
+    )
+    p_diff.add_argument(
+        "--tol", type=float, default=0.1,
+        help="metric-delta flag threshold as a fraction (default 0.1); "
+        "informational only, never affects the exit status",
+    )
+    p_diff.add_argument(
+        "--out", metavar="FILE",
+        help="write the diff.md document to FILE instead of stdout",
+    )
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run workloads with hot-path time/byte attribution enabled",
+    )
+    add_common(p_prof)
+    p_prof.add_argument(
+        "--op",
+        type=_parse_op,
+        action="append",
+        help="profile this workload instead of an ACE slice (repeatable)",
+    )
+    p_prof.add_argument("--seq", type=int, default=1, choices=(1, 2, 3),
+                        help="ACE sequence lengths to run (1..seq)")
+    p_prof.add_argument("--max-workloads", type=int, default=25,
+                        help="cap ACE workloads per sequence length "
+                        "(default 25; 0 = the whole sequence space)")
+    p_prof.add_argument("--top", type=int, default=15,
+                        help="hot-callsite rows to show (default 15)")
+    p_prof.add_argument(
+        "--out", metavar="FILE",
+        help="write the profile markdown to FILE instead of stdout",
+    )
+    p_prof.add_argument(
+        "--json", action="store_true",
+        help="emit the merged profile dict as JSON instead of markdown",
+    )
+    p_prof.add_argument(
+        "--chrome", metavar="OUT",
+        help="also export the telemetry span timeline as a Chrome "
+        "trace-event file",
+    )
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="render the benchmark history ledger and flag regressions",
+    )
+    p_perf.add_argument(
+        "ledger", nargs="?", metavar="LEDGER",
+        help="ledger path (default ./BENCH_history.jsonl)",
+    )
+    p_perf.add_argument(
+        "--bench", metavar="NAME",
+        help="restrict to one bench (e.g. replay_delta)",
+    )
+    p_perf.add_argument("--last", type=int, default=10,
+                        help="history window per bench (default 10)")
+    p_perf.add_argument(
+        "--tol", type=float, default=0.2,
+        help="regression threshold vs same-host median (default 0.2)",
+    )
+    p_perf.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when a regression is flagged (for CI)",
+    )
+    p_perf.add_argument(
+        "--json", action="store_true",
+        help="emit the raw ledger records as JSON",
     )
 
     p_explain = sub.add_parser(
@@ -883,6 +1166,9 @@ def main(argv=None) -> int:
         "stats": cmd_stats,
         "coverage": cmd_coverage,
         "watch": cmd_watch,
+        "diff": cmd_diff,
+        "profile": cmd_profile,
+        "perf": cmd_perf,
         "explain": cmd_explain,
     }
     try:

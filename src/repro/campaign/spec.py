@@ -46,6 +46,9 @@ class CampaignSpec:
     #: or ``"mech"``; in the spec so resumed campaigns and every worker
     #: explore the same state space.
     crash_plans: str = "subset"
+    #: Hot-path profiler (``ChipmunkConfig.profile``): per-stage/per-site
+    #: time and byte attribution recorded into each ``TestResult``.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.fs not in FS_CLASSES():
@@ -77,6 +80,7 @@ class CampaignSpec:
                 cap=self.cap,
                 memoize=self.memoize,
                 crash_plans=self.crash_plans,
+                profile=self.profile,
             ),
             telemetry=telemetry,
         )

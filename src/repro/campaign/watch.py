@@ -105,10 +105,14 @@ class Snapshot:
             return None
         return remaining / (rate / 60.0)
 
-    def fold_counters(self) -> Dict[str, int]:
+    def fold_counters(self) -> Dict[str, object]:
         """Sum the exploration counters out of the journaled results."""
-        totals = {"crash_states": 0, "checked": 0, "memo_hits": 0,
-                  "memo_misses": 0, "reports": 0}
+        totals: Dict[str, object] = {
+            "crash_states": 0, "checked": 0, "memo_hits": 0,
+            "memo_misses": 0, "reports": 0, "mech_plans": 0,
+            "mech_fallbacks": 0,
+        }
+        profile_bytes: Dict[str, int] = {}
         for results in self.state.results.values():
             for fields in results:
                 totals["crash_states"] += int(fields.get("n_crash_states", 0))
@@ -116,6 +120,17 @@ class Snapshot:
                 totals["memo_hits"] += int(fields.get("memo_hits", 0))
                 totals["memo_misses"] += int(fields.get("memo_misses", 0))
                 totals["reports"] += len(list(fields.get("reports", [])))
+                totals["mech_plans"] += int(
+                    fields.get("mech_plans_emitted", 0)
+                )
+                totals["mech_fallbacks"] += int(
+                    fields.get("mech_fallback_epochs", 0)
+                )
+                for cat, n in dict(
+                    (fields.get("profile") or {}).get("bytes") or {}
+                ).items():
+                    profile_bytes[cat] = profile_bytes.get(cat, 0) + int(n)
+        totals["profile_bytes"] = profile_bytes
         return totals
 
 
@@ -204,6 +219,19 @@ class CampaignMonitor:
             f"memo hit-rate {memo}   "
             f"bug reports {totals['reports']}"
         )
+        if totals["mech_plans"] or totals["mech_fallbacks"]:
+            lines.append(
+                f"mech plans {totals['mech_plans']}   "
+                f"fallback epochs {totals['mech_fallbacks']}"
+            )
+        profile_bytes = totals["profile_bytes"]
+        if any(profile_bytes.values()):
+            from repro.obs.profile import human_bytes
+
+            lines.append("profile bytes: " + "   ".join(
+                f"{cat} {human_bytes(n)}"
+                for cat, n in sorted(profile_bytes.items()) if n
+            ))
 
         if snap.beats and not snap.complete:
             lines.append("workers:")

@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 from repro.core.oracle import OracleResult, TreeState
+from repro.obs import profile as _profile
 from repro.core.replayer import CrashState
 from repro.core.report import BugReport, Consequence, diff_trees
 from repro.fs.common.alloc import AllocatorError
@@ -123,6 +125,8 @@ class ConsistencyChecker:
         return self._check_device(state, device)
 
     def _check_device(self, state: CrashState, device: PMDevice) -> List[BugReport]:
+        prof = _profile.ACTIVE
+        t0 = perf_counter() if prof is not None else 0.0
         try:
             fs = self.fs_class.mount(device, bugs=self.bugs)
         except MountError as exc:
@@ -139,19 +143,31 @@ class ConsistencyChecker:
                     f"mount crashed: {type(exc).__name__}: {exc}",
                 )
             ]
+        finally:
+            if prof is not None:
+                prof.add("checker.mount", perf_counter() - t0)
         reports: List[BugReport] = []
+        t0 = perf_counter() if prof is not None else 0.0
         try:
             crash_tree = fs.walk()
         except FsError as exc:
             reports.append(self._report(state, Consequence.UNREADABLE, str(exc)))
             crash_tree = None
+        if prof is not None:
+            prof.add("checker.walk", perf_counter() - t0)
         if crash_tree is None:
             self._note_outcome(b"<unreadable>")
         else:
             self._note_outcome(self._tree_digest(crash_tree))
+            t0 = perf_counter() if prof is not None else 0.0
             reports.extend(self._check_semantics(state, crash_tree))
+            if prof is not None:
+                prof.add("checker.semantics", perf_counter() - t0)
             if self.config.usability_check:
+                t0 = perf_counter() if prof is not None else 0.0
                 reports.extend(self._check_usability(state, fs, crash_tree))
+                if prof is not None:
+                    prof.add("checker.usability", perf_counter() - t0)
         return reports
 
     # ------------------------------------------------------------------
@@ -437,6 +453,8 @@ class CheckMemo:
         self._seen: set = set()
 
     def key_of(self, state: CrashState):
+        prof = _profile.ACTIVE
+        t0 = perf_counter() if prof is not None else 0.0
         image = state.image
         if self.delta and isinstance(image, CrashImage):
             digest = MemoAttribution.content_key(image)
@@ -444,6 +462,8 @@ class CheckMemo:
             digest = hashlib.sha1(
                 image if isinstance(image, (bytes, bytearray)) else bytes(image)
             ).digest()
+        if prof is not None:
+            prof.add("memo.key", perf_counter() - t0)
         return (digest, state.syscall, state.mid_syscall, state.after_syscall)
 
     @property

@@ -27,6 +27,7 @@ from repro.core.triage import Cluster, layout_map_for, triage_reports
 from repro.fs.bugs import BugConfig
 from repro.fs.registry import fs_class as lookup_fs_class
 from repro.obs import NULL
+from repro.obs import profile as _profile
 from repro.pm.device import PMDevice
 from repro.pm.log import PMLog
 from repro.vfs.interface import FileSystem
@@ -65,6 +66,12 @@ class ChipmunkConfig:
     #: emits a few targeted plans instead, falling back to subset
     #: enumeration for unrecognized epochs.
     crash_plans: str = "subset"
+    #: Install the hot-path profiler (:mod:`repro.obs.profile`) for the
+    #: duration of each workload: per-stage wall time, per-callsite
+    #: attribution, and byte accounting land in :attr:`TestResult.profile`.
+    #: Off by default — the disabled path costs one global read per
+    #: instrumented site (the telemetry-overhead bench pins it).
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.crash_plans not in ("subset", "mech"):
@@ -139,6 +146,10 @@ class TestResult:
     #: Epochs that fell back to full subset enumeration
     #: (``mech.fallback_epochs``).
     mech_fallback_epochs: int = 0
+    #: Hot-path profile (:meth:`repro.obs.profile.Profiler.to_dict`):
+    #: per-stage seconds, per-callsite attribution, byte accounting.
+    #: Empty unless the workload ran with ``ChipmunkConfig.profile``.
+    profile: Dict[str, object] = field(default_factory=dict)
 
     @property
     def buggy(self) -> bool:
@@ -200,6 +211,7 @@ class TestResult:
             "mech_recognized": dict(self.mech_recognized),
             "mech_plans_emitted": self.mech_plans_emitted,
             "mech_fallback_epochs": self.mech_fallback_epochs,
+            "profile": dict(self.profile),
         }
 
     @classmethod
@@ -255,6 +267,7 @@ class TestResult:
             },
             mech_plans_emitted=int(data.get("mech_plans_emitted", 0)),
             mech_fallback_epochs=int(data.get("mech_fallback_epochs", 0)),
+            profile=dict(data.get("profile", {})),
         )
 
 
@@ -327,20 +340,43 @@ class Chipmunk:
         lazily), so their stages are timed at crash-state boundaries — each
         ``next()`` on the generator is enumeration, everything after it is
         checking.
+
+        With ``config.profile`` a hot-path profiler
+        (:mod:`repro.obs.profile`) is installed for the pipeline's duration;
+        its stage clock transitions at the same boundaries as the spans, so
+        the profile's per-stage seconds reconcile with ``stage_times``.
         """
+        if not self.config.profile:
+            return self._run_pipeline(workload, setup, coverage, None)
+        profiler = _profile.Profiler()
+        with _profile.install(profiler):
+            return self._run_pipeline(workload, setup, coverage, profiler)
+
+    def _run_pipeline(
+        self, workload: Workload, setup: Workload, coverage, profiler
+    ) -> TestResult:
         tel = self.telemetry
         workload = list(workload)
         desc = describe_workload(workload)
         stage_times: Dict[str, float] = {}
+        if profiler is not None:
+            profiler.set_stage("record")
         with tel.span("record", workload=desc) as sp:
             base, log, errnos = self.record(workload, setup=setup, coverage=coverage)
         stage_times["record"] = sp.duration
+        if profiler is not None:
+            profiler.set_stage("oracle")
         with tel.span("oracle") as sp:
             oracle = run_oracle(
                 self.fs_class, workload, self.config.device_size, bugs=self.bugs,
                 setup=setup,
             )
         stage_times["oracle"] = sp.duration
+        if profiler is not None:
+            # Pipeline setup (checker, planner, forensics recorder) sits
+            # outside every stage span; keep it out of the stage clock too
+            # so profile stages reconcile with ``stage_times``.
+            profiler.set_stage("other")
         if errnos != oracle.errnos:
             raise RuntimeError(
                 f"probed run and oracle disagree on syscall results: "
@@ -411,6 +447,8 @@ class Chipmunk:
             telemetry=tel,
             planner=planner,
         )
+        if profiler is not None:
+            profiler.set_stage("enumerate")
         t_prev = time.perf_counter()
         while True:
             state = next(states, None)
@@ -418,6 +456,8 @@ class Chipmunk:
             enum_time += t_state - t_prev
             if state is None:
                 break
+            if profiler is not None:
+                profiler.set_stage("check")
             n_states += 1
             found = memo.check(state)
             if found is None:
@@ -426,18 +466,26 @@ class Chipmunk:
                     tel.count("harness.dedup_hits")
                 t_prev = time.perf_counter()
                 check_time += t_prev - t_state
+                if profiler is not None:
+                    profiler.set_stage("enumerate")
                 continue
             reports.extend(found)
             t_prev = time.perf_counter()
             check_time += t_prev - t_state
+            if profiler is not None:
+                profiler.set_stage("enumerate")
             if len(reports) >= self.config.max_reports_per_workload:
                 truncated = True
                 break
         stage_times["enumerate"] = enum_time
         stage_times["check"] = check_time
+        if profiler is not None:
+            profiler.set_stage("triage")
         with tel.span("triage") as sp:
             clusters = triage_reports(reports)
         stage_times["triage"] = sp.duration
+        if profiler is not None:
+            profiler.set_stage("analyze")
         with tel.span("analyze") as sp:
             persistence = persistence_breakdown(log)
             try:
@@ -449,6 +497,15 @@ class Chipmunk:
                 store_regions = {}
             recovery_overlap = self._recovery_overlap(base, log)
         stage_times["analyze"] = sp.duration
+        if profiler is not None:
+            profiler.stop()
+            prof_dict = profiler.to_dict()
+            if tel.enabled:
+                for cat, n in profiler.bytes.items():
+                    if n:
+                        tel.count("profile.bytes." + cat, n)
+        else:
+            prof_dict = {}
         result = TestResult(
             workload_desc=desc,
             reports=reports,
@@ -477,6 +534,7 @@ class Chipmunk:
             mech_recognized=dict(planner.recognized) if planner else {},
             mech_plans_emitted=planner.plans_emitted if planner else 0,
             mech_fallback_epochs=planner.fallback_epochs if planner else 0,
+            profile=prof_dict,
         )
         if tel.enabled:
             self._emit_result(tel, result)
@@ -553,6 +611,7 @@ class Chipmunk:
             mech_recognized=result.mech_recognized,
             mech_plans_emitted=result.mech_plans_emitted,
             mech_fallback_epochs=result.mech_fallback_epochs,
+            profile=result.profile,
             outcomes=outcomes,
             inflight=result.inflight,
         )

@@ -15,8 +15,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import profile as _profile
 from repro.obs.metrics import INFLIGHT_EDGES
 from repro.pm.image import ChunkedDigest, CrashImage, FenceBase
 from repro.pm.log import Fence, Flush, NTStore, PMLog, SyscallBegin, SyscallEnd, WriteEntry
@@ -150,16 +152,27 @@ class _PersistTracker:
         """Persist ``entries`` (a fence retiring the in-flight vector)."""
         if not entries:
             return
+        prof = _profile.ACTIVE
+        t0 = perf_counter() if prof is not None else 0.0
         buf = self.buf
+        applied = 0
         for entry in entries:
             buf[entry.addr : entry.addr + len(entry.data)] = entry.data
             self._digest.invalidate(entry.addr, len(entry.data))
+            applied += len(entry.data)
         self._base = None
+        if prof is not None:
+            prof.add("replay.persist_apply", perf_counter() - t0, applied)
 
     def base(self) -> FenceBase:
         """The current region's immutable snapshot (cached per region)."""
         if self._base is None:
+            prof = _profile.ACTIVE
+            t0 = perf_counter() if prof is not None else 0.0
             self._base = FenceBase(bytes(self.buf), self._digest.digest())
+            if prof is not None:
+                prof.add("replay.fence_base", perf_counter() - t0,
+                         len(self.buf), "materialized")
         return self._base
 
 

@@ -1,0 +1,295 @@
+"""Benchmark history ledger: append-only run records with trend analysis.
+
+``BENCH_replay.json`` is overwritten on every bench run, so the repo never
+accumulates a performance *trajectory* — exactly what the roadmap's perf
+items (vectorized hot path, equivalence pruning) need to prove "same bugs,
+faster".  This module is the accumulating half: benchmarks call
+:func:`append_record` to add one structured line to ``BENCH_history.jsonl``
+(wall-clock stamp, host fingerprint, bench config, metrics), and
+``python -m repro perf`` renders trend tables and flags regressions against
+the last-N runs.
+
+Ledger format (one JSON object per line, append-only)::
+
+    {"t": 1754700000.0, "bench": "replay_delta",
+     "host": {"python": "3.12.3", "machine": "x86_64", "cpus": 8, ...},
+     "config": {"device_size": 262144, ...},
+     "metrics": {"delta": {"states_per_sec": 812.0, ...}, ...}}
+
+Appends are flushed and fsync'd, and the reader tolerates a torn final
+line, mirroring the campaign checkpoint journal
+(:meth:`repro.campaign.journal.CheckpointJournal.replay`): a bench killed
+mid-append loses only its own record.
+
+Regression flagging is deliberately conservative: only metrics whose name
+declares a direction (``*_seconds``/``*_peak*`` lower-better,
+``*per_sec``/``*speedup*``/``*hit_rate*`` higher-better) are compared, the
+baseline is the median of prior same-host-fingerprint runs (cross-host
+numbers are not comparable), and fewer than :data:`MIN_BASELINE` priors
+means no verdict — so a fresh CI host passes its first runs by
+construction, which is what makes the CI gate tolerant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LEDGER",
+    "append_record",
+    "check_regressions",
+    "flatten_metrics",
+    "host_fingerprint",
+    "metric_direction",
+    "read_ledger",
+    "render_history",
+]
+
+DEFAULT_LEDGER = "BENCH_history.jsonl"
+
+#: Minimum same-host prior runs before a regression verdict is possible.
+MIN_BASELINE = 1
+
+#: Substring hints declaring a metric's good direction.  Order matters:
+#: the first matching hint wins, so ``states_per_sec`` is higher-better
+#: even though bare ``states``/``bytes`` counts carry no direction.
+_HIGHER = ("per_sec", "speedup", "ratio", "hit_rate")
+_LOWER = ("seconds", "peak_alloc", "peak_bytes", "overhead")
+
+
+def host_fingerprint() -> Dict[str, object]:
+    """Identity of the machine a bench ran on, for cross-run comparability."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def append_record(
+    path: str,
+    bench: str,
+    metrics: Dict[str, object],
+    config: Optional[Dict[str, object]] = None,
+    t: Optional[float] = None,
+) -> Dict[str, object]:
+    """Append one run record to the ledger; returns the record written."""
+    record = {
+        "t": round(time.time(), 3) if t is None else t,
+        "bench": bench,
+        "host": host_fingerprint(),
+        "config": dict(config or {}),
+        "metrics": metrics,
+    }
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    return record
+
+
+def read_ledger(path: str) -> Tuple[List[Dict[str, object]], int]:
+    """Parse the ledger, tolerating a torn final line.
+
+    Returns ``(records, torn_lines)``.  Records keep file order, which is
+    append order — time order for a single-writer ledger.
+    """
+    records: List[Dict[str, object]] = []
+    torn = 0
+    if not os.path.exists(path):
+        return records, torn
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                torn += 1
+                continue
+            if isinstance(record, dict) and record.get("bench"):
+                records.append(record)
+    return records, torn
+
+
+def flatten_metrics(
+    metrics: Dict[str, object], prefix: str = ""
+) -> Dict[str, float]:
+    """Numeric leaves of a nested metrics dict as dotted keys."""
+    flat: Dict[str, float] = {}
+    for key, value in metrics.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(flatten_metrics(value, name + "."))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            flat[name] = float(value)
+    return flat
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"higher"``/``"lower"`` if the name declares a direction, else None."""
+    leaf = name.rsplit(".", 1)[-1]
+    for hint in _HIGHER:
+        if hint in leaf:
+            return "higher"
+    for hint in _LOWER:
+        if hint in leaf:
+            return "lower"
+    return None
+
+
+def _same_host(a: Dict[str, object], b: Dict[str, object]) -> bool:
+    return dict(a.get("host", {})) == dict(b.get("host", {}))
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def check_regressions(
+    records: Sequence[Dict[str, object]],
+    tol: float = 0.2,
+    last: int = 10,
+) -> List[Dict[str, object]]:
+    """Compare each bench's newest run against its same-host history.
+
+    For every bench present, the latest record is compared metric-by-metric
+    (directional metrics only) against the median of up to ``last`` prior
+    same-host records.  A metric worse than baseline by more than ``tol``
+    (fractional) is flagged.  Returns a list of flag dicts; empty means no
+    regression verdict (including "not enough history").
+    """
+    flags: List[Dict[str, object]] = []
+    benches = {str(r["bench"]) for r in records}
+    for bench in sorted(benches):
+        runs = [r for r in records if str(r["bench"]) == bench]
+        latest = runs[-1]
+        priors = [r for r in runs[:-1] if _same_host(r, latest)][-last:]
+        if len(priors) < MIN_BASELINE:
+            continue
+        latest_flat = flatten_metrics(dict(latest.get("metrics", {})))
+        for name, value in sorted(latest_flat.items()):
+            direction = metric_direction(name)
+            if direction is None:
+                continue
+            history = [
+                flat[name]
+                for r in priors
+                for flat in (flatten_metrics(dict(r.get("metrics", {}))),)
+                if name in flat
+            ]
+            if not history:
+                continue
+            baseline = _median(history)
+            if baseline == 0:
+                continue
+            change = (value - baseline) / abs(baseline)
+            regressed = (
+                change < -tol if direction == "higher" else change > tol
+            )
+            if regressed:
+                flags.append({
+                    "bench": bench,
+                    "metric": name,
+                    "direction": direction,
+                    "baseline": baseline,
+                    "latest": value,
+                    "change": change,
+                    "n_baseline": len(history),
+                })
+    return flags
+
+
+# ----------------------------------------------------------------------
+# Rendering (the ``repro perf`` CLI surface)
+# ----------------------------------------------------------------------
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> List[str]:
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return lines
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.1f}"
+    return f"{value:.3g}"
+
+
+def _trend_columns(runs: Sequence[Dict[str, object]], limit: int = 6) -> List[str]:
+    """Headline metric columns: directional metrics first, stable order."""
+    seen: Dict[str, Optional[str]] = {}
+    for r in runs:
+        for name in flatten_metrics(dict(r.get("metrics", {}))):
+            if name not in seen:
+                seen[name] = metric_direction(name)
+    directional = [n for n, d in seen.items() if d is not None]
+    neutral = [n for n, d in seen.items() if d is None]
+    return (sorted(directional) + sorted(neutral))[:limit]
+
+
+def render_history(
+    records: Sequence[Dict[str, object]],
+    last: int = 10,
+    bench: Optional[str] = None,
+    tol: float = 0.2,
+) -> str:
+    """Per-bench trend tables plus the regression verdict."""
+    lines: List[str] = []
+    benches = sorted({str(r["bench"]) for r in records})
+    if bench is not None:
+        benches = [b for b in benches if b == bench]
+    if not benches:
+        return "(ledger has no matching records)"
+    for name in benches:
+        runs = [r for r in records if str(r["bench"]) == name][-last:]
+        columns = _trend_columns(runs)
+        lines.append(f"Bench: {name} (last {len(runs)} run(s))")
+        rows = []
+        for r in runs:
+            flat = flatten_metrics(dict(r.get("metrics", {})))
+            host = dict(r.get("host", {}))
+            stamp = time.strftime(
+                "%Y-%m-%d %H:%M", time.localtime(float(r.get("t", 0)))
+            )
+            rows.append(
+                [stamp, f"py{host.get('python', '?')}/{host.get('cpus', '?')}c"]
+                + [_fmt(flat[c]) if c in flat else "-" for c in columns]
+            )
+        lines.extend(_table(["when", "host"] + columns, rows))
+        lines.append("")
+    flags = check_regressions(records, tol=tol)
+    if bench is not None:
+        flags = [f for f in flags if f["bench"] == bench]
+    if flags:
+        lines.append(f"REGRESSIONS (>{tol * 100:.0f}% vs same-host median):")
+        for f in flags:
+            lines.append(
+                f"  {f['bench']}: {f['metric']} {_fmt(f['baseline'])} -> "
+                f"{_fmt(f['latest'])} ({f['change'] * +100:+.1f}%, "
+                f"{f['direction']}-is-better, n={f['n_baseline']})"
+            )
+    else:
+        lines.append("No regressions flagged against same-host history.")
+    return "\n".join(lines)

@@ -39,7 +39,10 @@ from __future__ import annotations
 
 import hashlib
 import struct
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
+
+from repro.obs import profile as _profile
 
 #: Granularity of the incremental digest over the persistent buffer.  Small
 #: enough that a fence region dirtying a few metadata lines rehashes a few
@@ -63,6 +66,8 @@ def flatten_overlay(
     or overlap the ranges.  Cost is O(total overlay bytes), never
     O(device), so it is usable per crash state.
     """
+    prof = _profile.ACTIVE
+    t0 = perf_counter() if prof is not None else 0.0
     latest: dict = {}
     for addr, data in writes:
         for i, b in enumerate(data):
@@ -76,7 +81,11 @@ def flatten_overlay(
             runs[-1][1].append(b)
         else:
             runs.append((pos, bytearray((b,))))
-    return tuple((addr, bytes(data)) for addr, data in runs)
+    flat = tuple((addr, bytes(data)) for addr, data in runs)
+    if prof is not None:
+        prof.add("image.flatten_overlay", perf_counter() - t0,
+                 sum(len(d) for _, d in writes))
+    return flat
 
 
 class ChunkedDigest:
@@ -106,13 +115,21 @@ class ChunkedDigest:
 
     def digest(self) -> bytes:
         """sha1 over the per-chunk sha1s, rehashing only dirty chunks."""
+        prof = _profile.ACTIVE
+        t0 = perf_counter() if prof is not None else 0.0
         view = memoryview(self.buf)
         combined = hashlib.sha1()
+        rehashed = 0
         for i, cached in enumerate(self._chunks):
             if cached is None:
-                cached = hashlib.sha1(view[i * CHUNK : (i + 1) * CHUNK]).digest()
+                piece = view[i * CHUNK : (i + 1) * CHUNK]
+                cached = hashlib.sha1(piece).digest()
                 self._chunks[i] = cached
+                rehashed += len(piece)
             combined.update(cached)
+        if prof is not None:
+            prof.add("image.chunk_rehash", perf_counter() - t0, rehashed,
+                     "digest_hashed")
         return combined.digest()
 
 
@@ -208,23 +225,38 @@ class CrashImage:
         why the one-way implication is the safe one.
         """
         if self._digest is None:
+            prof = _profile.ACTIVE
+            t0 = perf_counter() if prof is not None else 0.0
             h = hashlib.sha1(self.base.digest)
+            hashed = len(self.base.digest)
             for addr, data in self.effective_writes():
                 h.update(struct.pack("<QQ", addr, len(data)))
                 h.update(data)
+                hashed += 16 + len(data)
             self._digest = h.digest()
+            if prof is not None:
+                prof.add("image.digest", perf_counter() - t0, hashed,
+                         "digest_hashed")
         return self._digest
 
     def materialize(self) -> bytes:
         """The flat ``bytes`` image (cached after the first call)."""
         if self._mat is None:
+            prof = _profile.ACTIVE
+            t0 = perf_counter() if prof is not None else 0.0
             if not self.writes:
+                # Zero-copy: shares the base snapshot, nothing materialized.
                 self._mat = self.base.data
+                copied = 0
             else:
                 buf = bytearray(self.base.data)
                 for addr, data in self.writes:
                     buf[addr : addr + len(data)] = data
                 self._mat = bytes(buf)
+                copied = len(self._mat)
+            if prof is not None:
+                prof.add("image.materialize", perf_counter() - t0, copied,
+                         "materialized")
         return self._mat
 
     # ------------------------------------------------------------------

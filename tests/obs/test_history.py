@@ -1,0 +1,194 @@
+"""Benchmark history ledger: round-trip, torn tails, regression flagging.
+
+The ledger mirrors the campaign journal's durability contract — appends
+are fsync'd and the reader tolerates a torn final line — and its
+regression verdicts are deliberately conservative: directional metrics
+only, same-host baselines only, no verdict without history.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.history import (
+    MIN_BASELINE,
+    append_record,
+    check_regressions,
+    flatten_metrics,
+    host_fingerprint,
+    metric_direction,
+    read_ledger,
+    render_history,
+)
+
+
+def _ledger(tmp_path, name="ledger.jsonl"):
+    return str(tmp_path / name)
+
+
+class TestRoundTrip:
+    def test_append_then_read(self, tmp_path):
+        path = _ledger(tmp_path)
+        written = append_record(
+            path, "replay_delta",
+            {"delta": {"states_per_sec": 800.0}}, config={"smoke": True},
+        )
+        records, torn = read_ledger(path)
+        assert torn == 0
+        assert records == [written]
+        assert records[0]["host"] == host_fingerprint()
+
+    def test_appends_accumulate_in_order(self, tmp_path):
+        path = _ledger(tmp_path)
+        for i in range(3):
+            append_record(path, "b", {"n": i})
+        records, _ = read_ledger(path)
+        assert [r["metrics"]["n"] for r in records] == [0, 1, 2]
+
+    def test_missing_ledger_is_empty(self, tmp_path):
+        records, torn = read_ledger(_ledger(tmp_path, "absent.jsonl"))
+        assert records == [] and torn == 0
+
+    def test_torn_last_line_tolerated(self, tmp_path):
+        path = _ledger(tmp_path)
+        append_record(path, "b", {"n": 1})
+        append_record(path, "b", {"n": 2})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"t": 3, "bench": "b", "metrics": {"n"')  # torn append
+        records, torn = read_ledger(path)
+        assert torn == 1
+        assert [r["metrics"]["n"] for r in records] == [1, 2]
+
+
+class TestDirections:
+    def test_flatten_numeric_leaves(self):
+        flat = flatten_metrics(
+            {"delta": {"seconds": 1.5, "ok": True}, "n": 3, "name": "x"}
+        )
+        assert flat == {"delta.seconds": 1.5, "n": 3.0}
+
+    @pytest.mark.parametrize("name,expected", [
+        ("delta.states_per_sec", "higher"),
+        ("speedup", "higher"),
+        ("memo_hit_rate", "higher"),
+        ("mech_mid_states_ratio", "higher"),
+        ("delta.seconds", "lower"),
+        ("eager.peak_alloc_bytes", "lower"),
+        ("n_states", None),
+        ("workloads", None),
+    ])
+    def test_metric_direction(self, name, expected):
+        assert metric_direction(name) == expected
+
+
+class TestRegressions:
+    def _seed(self, path, values, bench="b", host=None):
+        for v in values:
+            record = append_record(path, bench, {"states_per_sec": v})
+            if host is not None:
+                # Rewrite the host fingerprint to simulate cross-host runs.
+                records, _ = read_ledger(path)
+                records[-1]["host"] = host
+                with open(path, "w", encoding="utf-8") as fh:
+                    for r in records:
+                        fh.write(json.dumps(r) + "\n")
+        return record
+
+    def test_drop_in_higher_better_flagged(self, tmp_path):
+        path = _ledger(tmp_path)
+        self._seed(path, [100.0, 102.0, 40.0])
+        records, _ = read_ledger(path)
+        flags = check_regressions(records, tol=0.2)
+        assert len(flags) == 1
+        flag = flags[0]
+        assert flag["metric"] == "states_per_sec"
+        assert flag["baseline"] == pytest.approx(101.0)
+        assert flag["change"] < -0.2
+
+    def test_jump_in_lower_better_flagged(self, tmp_path):
+        path = _ledger(tmp_path)
+        for v in (1.0, 1.1, 3.0):
+            append_record(path, "b", {"seconds": v})
+        records, _ = read_ledger(path)
+        flags = check_regressions(records, tol=0.2)
+        assert [f["metric"] for f in flags] == ["seconds"]
+
+    def test_within_tolerance_not_flagged(self, tmp_path):
+        path = _ledger(tmp_path)
+        self._seed(path, [100.0, 102.0, 95.0])
+        records, _ = read_ledger(path)
+        assert check_regressions(records, tol=0.2) == []
+
+    def test_no_verdict_without_history(self, tmp_path):
+        path = _ledger(tmp_path)
+        self._seed(path, [10.0] * MIN_BASELINE)  # latest only, no priors
+        records, _ = read_ledger(path)
+        assert check_regressions(records, tol=0.2) == []
+
+    def test_cross_host_priors_excluded(self, tmp_path):
+        path = _ledger(tmp_path)
+        append_record(path, "b", {"states_per_sec": 100.0})
+        records, _ = read_ledger(path)
+        records[0]["host"] = {"machine": "other-arch"}
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(records[0]) + "\n")
+        append_record(path, "b", {"states_per_sec": 10.0})
+        records, _ = read_ledger(path)
+        # The only prior is from a different host: no baseline, no flag.
+        assert check_regressions(records, tol=0.2) == []
+
+    def test_nondirectional_metrics_ignored(self, tmp_path):
+        path = _ledger(tmp_path)
+        for v in (10, 10, 1000):
+            append_record(path, "b", {"n_states": v})
+        records, _ = read_ledger(path)
+        assert check_regressions(records, tol=0.2) == []
+
+
+class TestRender:
+    def test_trend_table_and_verdict(self, tmp_path):
+        path = _ledger(tmp_path)
+        for v in (100.0, 102.0):
+            append_record(path, "replay_delta", {"states_per_sec": v})
+        records, _ = read_ledger(path)
+        text = render_history(records)
+        assert "Bench: replay_delta" in text
+        assert "states_per_sec" in text
+        assert "No regressions flagged" in text
+
+    def test_regression_named_in_render(self, tmp_path):
+        path = _ledger(tmp_path)
+        for v in (100.0, 102.0, 40.0):
+            append_record(path, "replay_delta", {"states_per_sec": v})
+        records, _ = read_ledger(path)
+        text = render_history(records)
+        assert "REGRESSIONS" in text
+        assert "replay_delta: states_per_sec" in text
+
+
+class TestPerfCLI:
+    def test_renders_ledger(self, tmp_path, capsys):
+        path = _ledger(tmp_path)
+        append_record(path, "replay_delta", {"states_per_sec": 800.0})
+        assert main(["perf", path]) == 0
+        out = capsys.readouterr().out
+        assert "Bench: replay_delta" in out
+
+    def test_check_flags_regression_nonzero(self, tmp_path, capsys):
+        path = _ledger(tmp_path)
+        for v in (100.0, 102.0, 40.0):
+            append_record(path, "b", {"states_per_sec": v})
+        assert main(["perf", path, "--check"]) == 1
+        assert main(["perf", path, "--check", "--tol", "0.9"]) == 0
+
+    def test_missing_ledger_is_usage_error(self, tmp_path, capsys):
+        assert main(["perf", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no ledger records" in capsys.readouterr().err
+
+    def test_json_output(self, tmp_path, capsys):
+        path = _ledger(tmp_path)
+        append_record(path, "b", {"n": 1})
+        assert main(["perf", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc[0]["bench"] == "b"

@@ -296,3 +296,57 @@ class TestObservabilityCLI:
     def test_watch_rejects_non_campaign_dir(self, tmp_path, capsys):
         assert main(["watch", str(tmp_path), "--once"]) == 2
         assert "not a campaign directory" in capsys.readouterr().out
+
+    def test_diff_metrics_only_on_traces(self, campaign_dir, capsys):
+        trace = str(Path(campaign_dir) / "trace.jsonl")
+        assert main(["diff", trace, trace]) == 0
+        out = capsys.readouterr().out
+        assert "metrics-only" in out
+        assert "states_enumerated" in out
+
+
+class TestProfileCLI:
+    def test_profile_op_renders_markdown(self, capsys):
+        code = main(["profile", "nova", "--op", "creat /f",
+                     "--op", "write /f 0 65 1024"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# Profile: nova" in out
+        assert "## Stage breakdown" in out
+        assert "## Byte accounting" in out
+        assert "attributed to pipeline stages" in out
+
+    def test_profile_out_and_chrome(self, tmp_path, capsys):
+        import json
+
+        out_md = str(tmp_path / "profile.md")
+        chrome = str(tmp_path / "profile.chrome.json")
+        code = main(["profile", "nova", "--max-workloads", "3",
+                     "--out", out_md, "--chrome", chrome])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[profile] wrote" in out
+        assert "## Hot callsites" in open(out_md).read()
+        doc = json.loads(open(chrome).read())
+        assert doc["traceEvents"]
+
+    def test_profile_json_output(self, capsys):
+        import json
+
+        assert main(["profile", "nova", "--op", "creat /f", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"stages", "sites", "bytes"}
+
+    def test_campaign_profile_flag_reaches_results(self, tmp_path):
+        from repro.campaign.journal import CheckpointJournal
+
+        out_dir = str(tmp_path / "profcamp")
+        code = main(["campaign", "nova", "--workers", "2",
+                     "--max-workloads", "3", "--out", out_dir, "--profile"])
+        assert code in (0, 1)
+        state = CheckpointJournal.replay(out_dir)
+        result_dicts = [d for results in state.results.values()
+                        for d in results]
+        assert result_dicts
+        for fields in result_dicts:
+            assert fields.get("profile", {}).get("stages")
