@@ -74,8 +74,11 @@ class ConsistencyChecker:
         self.provenance = provenance
         # One shared mount device per fence base (states of one region
         # arrive consecutively, so a single-entry cache hits every time).
+        # The numpy backend goes further: one adopted device per *tracker*,
+        # wrapping the replayer's live buffer for every region.
         self._mount_base: Optional[FenceBase] = None
         self._mount_device: Optional[PMDevice] = None
+        self._mount_store = None
         #: Digests of every distinct *recovered observable outcome* seen —
         #: the post-recovery tree (or an unmountable/unreadable marker) per
         #: checked state.  ``len(outcome_digests) / states checked`` is the
@@ -112,12 +115,40 @@ class ConsistencyChecker:
             # (mount-time recovery writes, the usability pass), so states
             # never leak into each other — the paper's own undo-log
             # strategy, instead of a full image copy per state.
-            if self._mount_base is not image.base:
-                self._mount_base = image.base
-                self._mount_device = PMDevice.from_snapshot(
-                    image.base.data, telemetry=self.telemetry
-                )
-            with self._mount_device.cow_view(image.writes) as device:
+            base = image.base
+            restore = getattr(base, "restore_writes", None)
+            if restore is not None and not base.adoptable:
+                # A later write grew the live buffer past this base's
+                # historical end; content restores cannot truncate, so the
+                # zero-copy adopt path would mount a longer device.  Take
+                # the snapshotting path below instead (rare: only logs
+                # that write past the device end).
+                restore = None
+            if restore is not None:
+                # Numpy backend: the base shares the replayer's live buffer
+                # — adopt that buffer as the mount device (no copy, ever)
+                # and prefix the COW view with the base's restore patch,
+                # which rolls the live content back to this region.  While
+                # states stream (region checked as it is enumerated) the
+                # patch is empty; it only grows for stale bases re-checked
+                # after enumeration moved on.
+                tracker = base.tracker
+                if self._mount_store is not tracker:
+                    self._mount_store = tracker
+                    self._mount_base = None
+                    self._mount_device = PMDevice.adopt(
+                        tracker.buf, telemetry=self.telemetry
+                    )
+                writes = tuple(restore()) + image.writes
+            else:
+                if self._mount_base is not base:
+                    self._mount_base = base
+                    self._mount_store = None
+                    self._mount_device = PMDevice.from_snapshot(
+                        base.data, telemetry=self.telemetry
+                    )
+                writes = image.writes
+            with self._mount_device.cow_view(writes) as device:
                 return self._check_device(state, device)
         # Legacy eager path for flat images (hand-built states, the
         # delta-vs-eager benchmark baseline): fresh device copy per state.
@@ -455,6 +486,7 @@ class CheckMemo:
     def key_of(self, state: CrashState):
         prof = _profile.ACTIVE
         t0 = perf_counter() if prof is not None else 0.0
+        m0 = prof.mark() if prof is not None else 0.0
         image = state.image
         if self.delta and isinstance(image, CrashImage):
             digest = MemoAttribution.content_key(image)
@@ -463,7 +495,9 @@ class CheckMemo:
                 image if isinstance(image, (bytes, bytearray)) else bytes(image)
             ).digest()
         if prof is not None:
-            prof.add("memo.key", perf_counter() - t0)
+            # Exclusive of the flatten the content key runs internally
+            # (profiled at its own site in the same stage).
+            prof.add_exclusive("memo.key", perf_counter() - t0, m0)
         return (digest, state.syscall, state.mid_syscall, state.after_syscall)
 
     @property

@@ -60,7 +60,9 @@ class OverlayReadTrackingDevice(PMDevice):
 
     CHUNK = 4096
 
-    def __init__(self, base: bytes, writes: Iterable[Tuple[int, bytes]] = ()) -> None:
+    def __init__(self, base, writes: Iterable[Tuple[int, bytes]] = ()) -> None:
+        # ``base`` is flat bytes or any sliceable fence base (including the
+        # numpy backend's LazyFenceBase) — only accessed chunks are read.
         size = len(base)
         if size <= 0 or size % CACHE_LINE != 0:
             raise PMDeviceError(
@@ -128,7 +130,9 @@ class OverlayReadTrackingDevice(PMDevice):
             buf[s - lo : e - lo] = data[s - addr : e - addr]
 
     def snapshot(self) -> bytes:
-        buf = bytearray(self._base)
+        # Slicing (not buffer conversion) so lazy fence bases — sliceable
+        # but not buffer-protocol objects — work as the base too.
+        buf = bytearray(self._base[0 : self.size])
         for ci in sorted(set(self._pending) | set(self._chunks)):
             if ci in self._chunks:
                 lo = ci * self.CHUNK

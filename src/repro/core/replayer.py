@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.obs import profile as _profile
 from repro.obs.metrics import INFLIGHT_EDGES
+from repro.pm.backend import resolve_backend
 from repro.pm.image import ChunkedDigest, CrashImage, FenceBase
 from repro.pm.log import Fence, Flush, NTStore, PMLog, SyscallBegin, SyscallEnd, WriteEntry
 
@@ -169,10 +170,12 @@ class _PersistTracker:
         if self._base is None:
             prof = _profile.ACTIVE
             t0 = perf_counter() if prof is not None else 0.0
+            m0 = prof.mark() if prof is not None else 0.0
             self._base = FenceBase(bytes(self.buf), self._digest.digest())
             if prof is not None:
-                prof.add("replay.fence_base", perf_counter() - t0,
-                         len(self.buf), "materialized")
+                # Exclusive of the chunk rehashes the digest runs inside.
+                prof.add_exclusive("replay.fence_base", perf_counter() - t0,
+                                   m0, len(self.buf), "materialized")
         return self._base
 
 
@@ -205,6 +208,7 @@ def enumerate_crash_states(
     unit_ranker=None,
     telemetry=None,
     planner=None,
+    image_backend: str = "python",
 ) -> Iterator[CrashState]:
     """Enumerate crash states for a recorded workload.
 
@@ -239,10 +243,23 @@ def enumerate_crash_states(
     subsequence of the unplanned one.  The planner takes precedence over
     ``unit_ranker`` for planned epochs (plans are already targeted);
     fallback epochs still rank.
+
+    ``image_backend`` selects the crash-image data plane: ``"python"``
+    (the default — immutable per-region ``bytes`` snapshots) or
+    ``"numpy"`` (:class:`repro.pm.image_np.NPPersistTracker` — zero-copy
+    lazy fence bases over the live buffer plus vectorized digesting).
+    Both produce value-identical states; callers resolve ``"auto"`` via
+    :func:`repro.pm.backend.resolve_backend` before passing it here.
     """
     if crash_points not in ("fence", "post", "fsync"):
         raise ValueError(f"unknown crash_points mode {crash_points!r}")
-    persistent = _PersistTracker(base_image)
+    backend = resolve_backend(image_backend)
+    if backend == "numpy":
+        from repro.pm.image_np import NPPersistTracker
+
+        persistent = NPPersistTracker(base_image)
+    else:
+        persistent = _PersistTracker(base_image)
     inflight: List[WriteEntry] = []
     in_syscall: Optional[int] = None
     in_name: Optional[str] = None

@@ -98,7 +98,7 @@ class MemoAttribution:
         """
         if isinstance(image, CrashImage):
             h = hashlib.sha1(image.base.digest)
-            for addr, data in flatten_overlay(image.base.data, image.writes):
+            for addr, data in flatten_overlay(image.base, image.writes):
                 h.update(struct.pack("<QQ", addr, len(data)))
                 h.update(data)
             return h.digest()
@@ -133,7 +133,7 @@ class MemoAttribution:
             covered += cur_end - cur_start
         diff_bytes = sum(
             len(data)
-            for _, data in flatten_overlay(image.base.data, image.writes)
+            for _, data in flatten_overlay(image.base, image.writes)
         )
         return covered - diff_bytes
 

@@ -70,7 +70,7 @@ OTHER_STAGE = "other"
 class Profiler:
     """Accumulates stage wall time, callsite attribution, and byte counts."""
 
-    __slots__ = ("stages", "sites", "bytes", "_stage", "_t0")
+    __slots__ = ("stages", "sites", "bytes", "_stage", "_t0", "_inner")
 
     def __init__(self) -> None:
         #: stage -> wall seconds (telescoping; sums to the profiled window).
@@ -81,6 +81,9 @@ class Profiler:
         self.bytes: Dict[str, int] = {cat: 0 for cat in BYTE_CATEGORIES}
         self._stage = OTHER_STAGE
         self._t0: Optional[float] = None
+        # Running total of attributed seconds, consumed by mark() /
+        # add_exclusive() so nesting callsites subtract their children.
+        self._inner = 0.0
 
     # ------------------------------------------------------------------
     # Stage clock
@@ -120,8 +123,27 @@ class Profiler:
         cell[0] += 1
         cell[1] += seconds
         cell[2] += nbytes
+        self._inner += seconds
         if category is not None:
             self.bytes[category] = self.bytes.get(category, 0) + nbytes
+
+    def mark(self) -> float:
+        """Snapshot of total attributed seconds, for :meth:`add_exclusive`."""
+        return self._inner
+
+    def add_exclusive(self, site: str, seconds: float, mark: float,
+                      nbytes: int = 0, category: Optional[str] = None) -> None:
+        """Attribute a call minus the profiled work nested inside it.
+
+        ``mark`` is the :meth:`mark` value taken when the call started;
+        anything attributed since then ran *inside* this call (the memo
+        key wrapping a flatten, a fence base wrapping chunk rehashes) and
+        is subtracted, so per-stage callsite seconds stay a partition of
+        the stage clock rather than double-counting.  Chains compose: an
+        exclusive parent adds only its own time to the running total, so
+        a grandparent subtracts each level exactly once.
+        """
+        self.add(site, seconds - (self._inner - mark), nbytes, category)
 
     # ------------------------------------------------------------------
     # Serialization (JSON-safe; rides TestResult through the journal)

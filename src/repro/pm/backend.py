@@ -1,0 +1,74 @@
+"""Image-backend selection for the delta-replay data plane.
+
+Two interchangeable implementations sit behind the crash-image API:
+
+``python``
+    The reference implementation — :class:`repro.pm.image.FenceBase` holds
+    a flat ``bytes`` snapshot per fence region, digests and overlay
+    flattening walk plain Python loops.  Kept byte-for-byte as the
+    differential baseline.
+
+``numpy``
+    The vectorized implementation (:mod:`repro.pm.image_np`) — fence bases
+    share the replayer's live buffer through an undo chain (no per-region
+    copy), the chunked digest skips all-zero chunks with one vectorized
+    scan, and overlay flattening runs on ``numpy`` arrays.  Every produced
+    *value* (materialized bytes, chunk digests, flattened diffs, content
+    keys) is identical to the python backend's; only the cost model
+    changes.
+
+Selection is by name, threaded from ``--image-backend`` through
+``ChipmunkConfig``/``CampaignSpec``.  ``auto`` (the default) picks
+``numpy`` when the import succeeds; an explicit ``numpy`` request on a
+host without numpy degrades gracefully to ``python`` rather than failing —
+campaign specs stay portable across hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+try:  # pragma: no cover - exercised indirectly by both CI legs
+    import numpy  # noqa: F401
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    _HAVE_NUMPY = False
+
+__all__ = ["BACKENDS", "BACKEND_CHOICES", "numpy_available",
+           "default_backend", "resolve_backend"]
+
+#: Concrete backend implementations.
+BACKENDS = ("python", "numpy")
+
+#: Valid configuration values (``auto`` resolves at run time).
+BACKEND_CHOICES = ("auto",) + BACKENDS
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can actually run on this host."""
+    return _HAVE_NUMPY
+
+
+def default_backend() -> str:
+    """The backend ``auto`` resolves to."""
+    return "numpy" if _HAVE_NUMPY else "python"
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Map a configured backend name to the one that will run.
+
+    ``None``/``""``/``"auto"`` pick the default; ``"numpy"`` falls back to
+    ``"python"`` when numpy is absent (graceful degradation — the two
+    backends produce identical values, so the fallback only changes
+    speed).  Unknown names raise ``ValueError``.
+    """
+    if name in (None, "", "auto"):
+        return default_backend()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown image backend {name!r} (expected one of {BACKEND_CHOICES})"
+        )
+    if name == "numpy" and not _HAVE_NUMPY:
+        return "python"
+    return name

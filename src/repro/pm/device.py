@@ -37,13 +37,20 @@ class PMDevice:
         cache-line size so flush ranges always stay in bounds.
     """
 
-    def __init__(self, size: int, telemetry=None) -> None:
+    def __init__(self, size: int, telemetry=None, *, image=None) -> None:
         if size <= 0 or size % CACHE_LINE != 0:
             raise PMDeviceError(
                 f"device size must be a positive multiple of {CACHE_LINE}, got {size}"
             )
+        if image is not None and len(image) != size:
+            raise PMDeviceError(
+                f"adopted image size {len(image)} does not match device size {size}"
+            )
         self.size = size
-        self.image = bytearray(size)
+        #: ``image=`` adopts an existing buffer by reference (no copy, no
+        #: zero-fill) — the shared-mount path where the checker presents
+        #: the replayer's live buffer as a device.
+        self.image = image if image is not None else bytearray(size)
         self._undo: List[Tuple[int, bytes]] | None = None
         # Device access counters live on cached Counter objects so the
         # instrumented path is one attribute check plus two integer adds per
@@ -117,9 +124,18 @@ class PMDevice:
         """
         if not isinstance(snap, (bytes, bytearray)):
             snap = bytes(snap)
-        dev = cls(len(snap), telemetry=telemetry)
-        dev.image = bytearray(snap)
-        return dev
+        return cls(len(snap), telemetry=telemetry, image=bytearray(snap))
+
+    @classmethod
+    def adopt(cls, buf: bytearray, telemetry=None) -> "PMDevice":
+        """Present an existing mutable buffer as a device, by reference.
+
+        Writes through the device mutate ``buf`` in place; callers pair
+        this with :meth:`cow_view`, whose exit restores every byte it
+        changed, to mount crash states directly on the replayer's live
+        buffer without any per-region copy.
+        """
+        return cls(len(buf), telemetry=telemetry, image=buf)
 
     # ------------------------------------------------------------------
     # Undo log (used by the consistency checker, section 3.3: "we reuse our
@@ -168,17 +184,32 @@ class PMDevice:
         Overlay application is deliberately silent: it bypasses the write
         telemetry counters (it is state *construction*, not file-system
         work) and the undo log, which only covers the caller's mutations.
+
+        Before-images are captured as one slab per *merged span* of the
+        overlay, not one per write: overlapping and adjacent writes (the
+        restore-patch + overlay compositions of the numpy backend) save
+        each byte once, and rollback restores a handful of contiguous
+        slabs instead of replaying the write list backwards.
         """
         if self._undo is not None:
             raise PMDeviceError("undo log already active")
         prof = _profile.ACTIVE
         image = self.image
-        before: List[Tuple[int, bytes]] = []
         t0 = perf_counter() if prof is not None else 0.0
         applied = 0
+        spans: List[Tuple[int, int]] = []
+        for lo, hi in sorted((a, a + len(d)) for a, d in writes):
+            if spans and lo <= spans[-1][1]:
+                if hi > spans[-1][1]:
+                    spans[-1] = (spans[-1][0], hi)
+            else:
+                spans.append((lo, hi))
+        for lo, hi in spans:
+            self.check_range(lo, hi - lo)
+        before: List[Tuple[int, bytes]] = [
+            (lo, bytes(image[lo:hi])) for lo, hi in spans
+        ]
         for addr, data in writes:
-            self.check_range(addr, len(data))
-            before.append((addr, bytes(image[addr : addr + len(data)])))
             image[addr : addr + len(data)] = data
             applied += len(data)
         if prof is not None:

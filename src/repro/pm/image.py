@@ -19,11 +19,14 @@ replayed byte ranges.  This module holds the lazy representation:
 The content address of a crash state is
 ``sha1(base.digest ‖ (addr, len, payload) per effective replayed range)``.
 *Effective* ranges are the overlay after dropping no-op writes: a write
-whose payload is byte-equal to the base slice it covers, and which overlaps
-no earlier kept write, cannot change the materialized image — replaying an
-idempotent store is indistinguishable from losing it.  (The overlap guard
-matters because later writes win: a base-equal write layered over an
-earlier *kept* write would undo it, so it is not a no-op and is kept.)
+whose payload is byte-equal to the content it overwrites — the base slice
+it covers, patched with whatever earlier *kept* writes it overlaps —
+cannot change the materialized image, because replaying an idempotent
+store is indistinguishable from losing it.  (Overlap resolution matters
+because later writes win: a base-equal write layered over an earlier kept
+write restores base content, which is an effect, and is kept; conversely
+a write that merely repeats an earlier kept write's visible bytes is a
+no-op even though it overlaps it.)
 Digest equality therefore implies byte-identical images, which is the
 direction check memoization needs: a memo hit can never skip a state that
 might have checked differently.  The converse still does not fully hold —
@@ -54,7 +57,7 @@ OverlayWrite = Tuple[int, bytes]
 
 
 def flatten_overlay(
-    base: bytes, writes: Sequence[OverlayWrite]
+    base, writes: Sequence[OverlayWrite]
 ) -> Tuple[OverlayWrite, ...]:
     """The exact byte-level diff from ``base`` after applying ``writes``.
 
@@ -65,7 +68,17 @@ def flatten_overlay(
     flatten identically, regardless of how their writes partition, order,
     or overlap the ranges.  Cost is O(total overlay bytes), never
     O(device), so it is usable per crash state.
+
+    ``base`` is flat ``bytes`` or any fence-base object; a base providing
+    its own ``flatten_overlay`` (the numpy backend's
+    :class:`repro.pm.image_np.LazyFenceBase`) computes the identical value
+    vectorized, without ever materializing the base.
     """
+    vectorized = getattr(base, "flatten_overlay", None)
+    if vectorized is not None:
+        return vectorized(writes)
+    if not isinstance(base, (bytes, bytearray, memoryview)):
+        base = base.data  # python FenceBase: flat snapshot, free to index
     prof = _profile.ACTIVE
     t0 = perf_counter() if prof is not None else 0.0
     latest: dict = {}
@@ -114,19 +127,23 @@ class ChunkedDigest:
             self._chunks[i] = None
 
     def digest(self) -> bytes:
-        """sha1 over the per-chunk sha1s, rehashing only dirty chunks."""
+        """sha1 over the per-chunk sha1s, rehashing only dirty chunks.
+
+        The combine hashes one joined buffer instead of feeding the chunk
+        digests to sha1 one update at a time — same byte stream, same
+        value, without an O(chunks) python loop of hashlib calls per call.
+        """
         prof = _profile.ACTIVE
         t0 = perf_counter() if prof is not None else 0.0
+        chunks = self._chunks
         view = memoryview(self.buf)
-        combined = hashlib.sha1()
         rehashed = 0
-        for i, cached in enumerate(self._chunks):
+        for i, cached in enumerate(chunks):
             if cached is None:
                 piece = view[i * CHUNK : (i + 1) * CHUNK]
-                cached = hashlib.sha1(piece).digest()
-                self._chunks[i] = cached
+                chunks[i] = hashlib.sha1(piece).digest()
                 rehashed += len(piece)
-            combined.update(cached)
+        combined = hashlib.sha1(b"".join(chunks))
         if prof is not None:
             prof.add("image.chunk_rehash", perf_counter() - t0, rehashed,
                      "digest_hashed")
@@ -152,6 +169,11 @@ class FenceBase:
 
     def __len__(self) -> int:
         return len(self.data)
+
+    def __getitem__(self, key):
+        # Random access mirrors the numpy backend's LazyFenceBase so image
+        # code can slice a base without caring which backend built it.
+        return self.data[key]
 
 
 class CrashImage:
@@ -181,28 +203,36 @@ class CrashImage:
     def effective_writes(self) -> Tuple[OverlayWrite, ...]:
         """The overlay with no-op writes dropped (cached).
 
-        A write is a no-op — and safe to drop — only when its payload is
-        byte-equal to the base slice it covers *and* it overlaps no earlier
-        kept write.  The second condition is what keeps the drop sound
-        under later-writes-win materialization: a base-equal write on top
-        of a kept write would restore base content, which is an effect, not
-        a no-op.  (Overlap with earlier *dropped* writes is fine: a dropped
-        write left base content in place, so the base comparison for the
-        later write was already against the bytes it actually overwrites.)
+        A write is a no-op — and safe to drop — when its payload is
+        byte-equal to the content it overwrites: the base slice it covers,
+        patched with the earlier *kept* writes it overlaps.  Comparing
+        against the overlap-resolved content (not the raw base) is what
+        keeps the drop sound under later-writes-win materialization in
+        both directions: a base-equal write on top of a kept write
+        restores base content — an effect, kept — while a write that
+        merely repeats a kept write's visible bytes (e.g. a rewrite whose
+        visible suffix is idempotent) changes nothing and drops.  (Overlap
+        with earlier *dropped* writes needs no patching: a dropped write
+        left the prior content in place by definition.)
         """
         if self._effective is None:
-            base = self.base.data
+            base = self.base
             kept: List[OverlayWrite] = []
-            spans: List[Tuple[int, int]] = []
             dropped = 0
             for addr, data in self.writes:
                 end = addr + len(data)
-                overlaps_kept = any(s < end and addr < e for s, e in spans)
-                if not overlaps_kept and base[addr:end] == data:
+                current = None
+                for a, d in kept:
+                    e = a + len(d)
+                    if a < end and addr < e:
+                        if current is None:
+                            current = bytearray(base[addr:end])
+                        s, t = max(a, addr), min(e, end)
+                        current[s - addr : t - addr] = d[s - a : t - a]
+                if (bytes(current) if current is not None else base[addr:end]) == data:
                     dropped += 1
                     continue
                 kept.append((addr, data))
-                spans.append((addr, end))
             self._effective = tuple(kept)
             self._noop_dropped = dropped
         return self._effective
@@ -244,6 +274,7 @@ class CrashImage:
         if self._mat is None:
             prof = _profile.ACTIVE
             t0 = perf_counter() if prof is not None else 0.0
+            m0 = prof.mark() if prof is not None else 0.0
             if not self.writes:
                 # Zero-copy: shares the base snapshot, nothing materialized.
                 self._mat = self.base.data
@@ -255,8 +286,9 @@ class CrashImage:
                 self._mat = bytes(buf)
                 copied = len(self._mat)
             if prof is not None:
-                prof.add("image.materialize", perf_counter() - t0, copied,
-                         "materialized")
+                # Exclusive of a lazy fence base materializing itself.
+                prof.add_exclusive("image.materialize", perf_counter() - t0,
+                                   m0, copied, "materialized")
         return self._mat
 
     # ------------------------------------------------------------------
@@ -266,7 +298,7 @@ class CrashImage:
         return self.materialize()
 
     def __len__(self) -> int:
-        return len(self.base.data)
+        return len(self.base)
 
     def __getitem__(self, key):
         return self.materialize()[key]

@@ -1,0 +1,96 @@
+"""Campaign-level backend equivalence: ``repro diff --strict`` must see zero
+divergence between a python-backend and a numpy-backend run of the same
+seeded-bug campaign.
+
+The core differential suite (``tests/core/test_backend_equivalence.py``)
+pins per-state byte equality; this one pins the end-to-end artifact the
+project actually ships — ``bugs.json`` plus the journal-folded metrics —
+through the same ``diff_sides(strict=True)`` gate CI uses for
+subset-vs-mech.  Divergence here means the vectorized data plane changed
+which bugs a campaign finds, how they cluster (provenance/triage keys), or
+how the exemplars serialize.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignEngine, CampaignSpec, EngineConfig
+from repro.core.triage import Triage
+from repro.obs.diff import diff_sides, load_side
+from repro.pm.backend import numpy_available
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not importable"
+)
+
+CONFIGS = [
+    pytest.param("nova", "subset", id="nova-subset"),
+    pytest.param("nova", "mech", id="nova-mech"),
+    pytest.param("pmfs", "subset", id="pmfs-subset"),
+    pytest.param("pmfs", "mech", id="pmfs-mech"),
+]
+
+
+def run_campaign(tmp_path, fs, crash_plans, backend):
+    outdir = tmp_path / f"{fs}-{crash_plans}-{backend}"
+    spec = CampaignSpec(
+        fs=fs,
+        seq=1,
+        max_workloads=5,
+        crash_plans=crash_plans,
+        image_backend=backend,
+    )
+    engine = CampaignEngine(
+        spec, str(outdir),
+        EngineConfig(workers=1, batch_size=3, item_timeout=120.0),
+    )
+    merged = engine.run()
+    assert merged.summary.workloads_tested == 5
+    return outdir
+
+
+class TestBackendCampaignEquivalence:
+    @pytest.mark.parametrize("fs,crash_plans", CONFIGS)
+    def test_repro_diff_strict_zero_divergence(self, tmp_path, fs,
+                                               crash_plans):
+        a = run_campaign(tmp_path, fs, crash_plans, "python")
+        b = run_campaign(tmp_path, fs, crash_plans, "numpy")
+        diff = diff_sides(load_side(str(a)), load_side(str(b)), strict=True)
+        assert diff.clusters_compared
+        assert not diff.appeared, [c for c in diff.appeared]
+        assert not diff.disappeared, [c for c in diff.disappeared]
+        assert diff.strict_equal is True
+        assert not diff.divergent
+
+    @pytest.mark.parametrize("fs,crash_plans", [CONFIGS[0], CONFIGS[3]])
+    def test_triage_cluster_keys_identical(self, tmp_path, fs, crash_plans):
+        """Provenance-aware triage keys — not just the serialized reports —
+        must match: clustering runs on culprit sites, and a backend that
+        perturbed recovery provenance would shuffle clusters even with
+        equal report text."""
+        a = run_campaign(tmp_path, fs, crash_plans, "python")
+        b = run_campaign(tmp_path, fs, crash_plans, "numpy")
+
+        def cluster_keys(outdir):
+            from repro.core.report import BugReport
+
+            doc = json.loads((outdir / "bugs.json").read_text())
+            reports = [BugReport.from_dict(r) for r in doc["reports"]]
+            triage = Triage(provenance=True)
+            for r in reports:
+                triage.add(r)
+            return sorted(
+                (str(c.prov_key), sorted(map(str, c.sites)),
+                 sorted(c.tokens))
+                for c in triage.clusters
+            )
+
+        assert cluster_keys(a) == cluster_keys(b)
+
+    def test_bugs_json_byte_identical(self, tmp_path):
+        """The tentpole acceptance line: bugs.json byte-identical between
+        backends on the seeded-bug NOVA campaign."""
+        a = run_campaign(tmp_path, "nova", "subset", "python")
+        b = run_campaign(tmp_path, "nova", "subset", "numpy")
+        assert (a / "bugs.json").read_bytes() == (b / "bugs.json").read_bytes()

@@ -103,8 +103,11 @@ class TestSnapshot:
         assert snap.beats == []
 
     def test_mech_and_profile_counters_folded(self, tmp_path):
+        # Pinned to the python backend: the numpy backend's clean pipeline
+        # materializes zero bytes, and this test wants every category fed.
         spec = CampaignSpec(fs="nova", generator="ace", seq=1,
-                            max_workloads=4, crash_plans="mech", profile=True)
+                            max_workloads=4, crash_plans="mech", profile=True,
+                            image_backend="python")
         campaign_dir = str(tmp_path / "mechprof")
         CampaignEngine(spec, campaign_dir,
                        EngineConfig(workers=2, batch_size=2)).run()

@@ -315,6 +315,17 @@ class TestNoopOverlayWrites:
         shape_only = CrashImage(base, ((0, b"\x01\x01"),))
         assert img.digest() != shape_only.digest()
 
+    def test_noop_suffix_over_kept_write_drops(self):
+        # Regression: a rewrite that repeats an earlier kept write's
+        # visible bytes — its visible suffix is a no-op — must be compared
+        # against the overlap-resolved content, not the raw base.  It
+        # changes nothing, so it drops, and the digest stays canonical.
+        base = FenceBase(bytes(8))
+        img = CrashImage(base, ((0, b"\x05"), (0, b"\x05\x00")))
+        assert bytes(img)[:3] == b"\x05\x00\x00"
+        assert img.noop_dropped == 1
+        assert img.digest() == CrashImage(base, ((0, b"\x05"),)).digest()
+
     def test_noop_overlapping_dropped_write_still_drops(self):
         # Two stacked no-ops: the first leaves base content in place, so
         # the second overlapping no-op is also droppable.

@@ -6,6 +6,12 @@ telemetry spans, so the profiled stages (minus the explicit ``other``
 bucket for setup between spans) must sum to ``TestResult.elapsed`` within
 a small tolerance.  Everything downstream — `repro profile`, the campaign
 ``--profile`` flag, the watch dashboard's byte totals — trusts that sum.
+
+The attribution tests run once per image backend: the numpy backend moves
+bytes between categories (a clean pipeline materializes *nothing*) but
+must keep every accounting invariant — telescoping stages, callsite
+seconds partitioning the stage clock, byte categories summing to their
+callsites.
 """
 
 import json
@@ -21,6 +27,7 @@ from repro.obs.profile import (
     merge_profiles,
     render_profile,
 )
+from repro.pm.backend import numpy_available
 from repro.workloads.ops import Op
 
 WORKLOAD = [
@@ -31,10 +38,33 @@ WORKLOAD = [
     Op("rename", ("/d/f", "/d/g")),
 ]
 
+BACKENDS = [
+    "python",
+    pytest.param(
+        "numpy",
+        marks=pytest.mark.skipif(
+            not numpy_available(), reason="numpy not importable"
+        ),
+    ),
+]
 
-@pytest.fixture(scope="module")
-def profiled_result():
-    cm = Chipmunk("nova", config=ChipmunkConfig(profile=True))
+#: Which callsites feed each byte-accounting category (the data plane's
+#: complete producer set; a new producer must be added here to keep the
+#: sum invariant meaningful).
+CATEGORY_SITES = {
+    "materialized": {"replay.fence_base", "image.materialize"},
+    "overlay_applied": {"device.cow_apply"},
+    "digest_hashed": {"image.chunk_rehash", "image.digest"},
+    "cow_rollback": {"device.cow_rollback"},
+}
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def profiled_result(request):
+    cm = Chipmunk(
+        "nova",
+        config=ChipmunkConfig(profile=True, image_backend=request.param),
+    )
     return cm.test_workload(WORKLOAD)
 
 
@@ -57,14 +87,33 @@ class TestAttributionInvariant:
             per_stage[stage] = per_stage.get(stage, 0.0) + seconds
         for stage, seconds in per_stage.items():
             # Attribution within a stage can never exceed the stage clock
-            # (small tolerance for perf_counter granularity).
+            # (small tolerance for perf_counter granularity).  Nesting
+            # callsites record exclusive time (Profiler.add_exclusive),
+            # which is what keeps this a partition rather than a
+            # double count.
             assert seconds <= stages[stage] * 1.05 + 1e-4, stage
 
-    def test_all_byte_categories_populated(self, profiled_result):
+    def test_byte_categories_sum_per_callsite(self, profiled_result):
+        """Each category total is exactly its producer callsites' bytes."""
+        counts = profiled_result.profile["bytes"]
+        per_site = {}
+        for _stage, site, _calls, _s, nbytes in profiled_result.profile["sites"]:
+            per_site[site] = per_site.get(site, 0) + nbytes
+        for cat, sites in CATEGORY_SITES.items():
+            produced = sum(per_site.get(site, 0) for site in sites)
+            assert counts[cat] == produced, cat
+
+    def test_byte_categories_populated(self, profiled_result):
         counts = profiled_result.profile["bytes"]
         assert set(counts) == set(BYTE_CATEGORIES)
-        for cat in BYTE_CATEGORIES:
+        for cat in ("overlay_applied", "digest_hashed", "cow_rollback"):
             assert counts[cat] > 0, f"no bytes attributed to {cat}"
+        if profiled_result.image_backend == "numpy":
+            # The zero-copy property: a clean numpy-backend pipeline never
+            # builds a flat image, so nothing is ever materialized.
+            assert counts["materialized"] == 0
+        else:
+            assert counts["materialized"] > 0
 
 
 class TestNullability:
