@@ -20,15 +20,17 @@ copies are the in-process equivalent).
 from __future__ import annotations
 
 import hashlib
+import struct
 from dataclasses import dataclass
 from time import perf_counter
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.oracle import OracleResult, TreeState
 from repro.obs import profile as _profile
 from repro.core.replayer import CrashState
 from repro.core.report import BugReport, Consequence, diff_trees
 from repro.fs.common.alloc import AllocatorError
+from repro.memo.store import BUGGY, CLEAN, DEFAULT_MAX_ENTRIES, MemoTable
 from repro.obs.attribution import MemoAttribution
 from repro.obs.metrics import CacheCounters
 from repro.pm.device import PMDevice, PMDeviceError
@@ -86,6 +88,64 @@ class ConsistencyChecker:
         #: two crash states recovering to the same tree under the same
         #: oracle can only ever yield the same verdict.
         self.outcome_digests: set = set()
+        # Oracle-context digests cached per (syscall, mid, after) — the
+        # per-workload half of the shared memo key (see context_digest).
+        self._ctx_digests: Dict[Tuple, bytes] = {}
+
+    # ------------------------------------------------------------------
+    # Oracle-context digest (shared check-memo key component)
+    # ------------------------------------------------------------------
+    def context_digest(self, state: CrashState) -> bytes:
+        """Digest of everything besides the image that decides a verdict.
+
+        Two checkers judging byte-identical images reach the same verdict
+        iff their expectations agree, so the cross-workload memo key folds
+        in a digest of exactly the inputs :meth:`_check_device` consults:
+        the file system, the enabled bug set, the checker knobs, and the
+        oracle trees the state's ``(syscall, mid_syscall, after_syscall)``
+        context is compared against.  Equal digest ⟹ equal expectations ⟹
+        (with equal image bytes) equal verdict — the soundness argument for
+        sharing verdicts across workloads, workers, and hosts.  Tree
+        digests go through :meth:`_tree_digest`, a pure function of the
+        observable tree, so the digest is host-portable.
+
+        Cached per context: a workload has a handful of contexts but
+        thousands of states.
+        """
+        context = (state.syscall, state.mid_syscall, state.after_syscall)
+        cached = self._ctx_digests.get(context)
+        if cached is not None:
+            return cached
+        h = hashlib.sha1()
+        h.update(self.fs_class.name.encode())
+        h.update(b"\x00")
+        enabled = sorted(self.bugs.enabled) if self.bugs is not None else []
+        h.update(repr(enabled).encode())
+        h.update(b"\x01" if self.config.usability_check else b"\x02")
+        h.update(b"\x01" if self.fs_class.atomic_data_writes else b"\x02")
+        oracle = self.oracle
+        if state.mid_syscall and state.syscall is not None:
+            i = state.syscall
+            op = oracle.workload[i]
+            h.update(b"mid")
+            h.update(op.name.encode())
+            h.update(b"\x00")
+            h.update((oracle.errnos[i] or "").encode())
+            h.update(b"\x00")
+            h.update(self._tree_digest(oracle.pre_state(i)))
+            if oracle.errnos[i] is None:
+                h.update(self._tree_digest(oracle.post_state(i)))
+        else:
+            expected = (
+                oracle.states[0]
+                if state.after_syscall < 0
+                else oracle.post_state(state.after_syscall)
+            )
+            h.update(b"post")
+            h.update(self._tree_digest(expected))
+        digest = h.digest()
+        self._ctx_digests[context] = digest
+        return digest
 
     # ------------------------------------------------------------------
     def check(self, state: CrashState) -> List[BugReport]:
@@ -459,16 +519,46 @@ class CheckMemo:
     whole-write no-ops are still tallied in :attr:`noop_writes_dropped`.
     With telemetry attached both surface as registry counters:
     ``checker.memo.miss.{reason}`` and ``checker.memo.noop_writes_dropped``.
+
+    **Local tier.** Verdicts live in a :class:`~repro.memo.store.MemoTable`
+    bounded at ``max_entries`` clean entries (LRU).  Buggy keys are pinned:
+    evicting one would re-check the state and append its reports *again*,
+    breaking memo-on/off ``bugs.json`` byte-equality; evicting a clean key
+    only costs a redundant check.  Evictions surface as
+    ``checker.memo.evictions``.
+
+    **Shared tier.** With ``shared`` attached (a
+    :class:`~repro.memo.client.MemoClient` or anything with the same
+    ``ok``/``lookup``/``publish`` surface), locally-missed states consult
+    the campaign-wide service under a key that folds the checker's
+    :meth:`~ConsistencyChecker.context_digest` into the content address —
+    equal shared key ⟹ equal image bytes *and* equal oracle expectations
+    ⟹ equal verdict, across workloads, workers, and hosts.  Only ``CLEAN``
+    verdicts are shared and only ``CLEAN`` shared hits skip the check: a
+    buggy state's reports carry workload-specific identity (workload and
+    crash descriptions, provenance), so it is always re-checked locally and
+    its reports land in ``bugs.json`` exactly as without the service.  A
+    shared hit can therefore never mask a bug — it elides re-checks whose
+    outcome is provably empty.  Shared failures degrade silently: every
+    shared call is exception-guarded, errors count into
+    ``checker.memo.shared.errors``, and the memo runs on indistinguishably
+    with the local tier alone.
     """
 
     def __init__(self, checker: ConsistencyChecker, telemetry=None,
-                 delta: bool = True) -> None:
+                 delta: bool = True, shared=None,
+                 max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         self.checker = checker
         self.delta = delta
+        self.shared = shared
         self._tel = telemetry if telemetry is not None and telemetry.enabled else None
         #: Per-memo hit/miss counts (one memo per workload).
         self.hits = 0
         self.misses = 0
+        #: Hits served by the shared service (also counted in :attr:`hits`).
+        self.shared_hits = 0
+        #: Shared-service calls that failed (degraded to a local miss).
+        self.shared_errors = 0
         #: Overlay writes dropped before digesting because they were
         #: byte-equal to the base (summed over every state keyed).
         self.noop_writes_dropped = 0
@@ -481,7 +571,7 @@ class CheckMemo:
             if self._tel is not None
             else None
         )
-        self._seen: set = set()
+        self._local = MemoTable(max_entries)
 
     def key_of(self, state: CrashState):
         prof = _profile.ACTIVE
@@ -505,6 +595,62 @@ class CheckMemo:
         """States actually checked — the campaign's "unique states"."""
         return self.misses
 
+    @property
+    def evictions(self) -> int:
+        """Clean entries LRU-evicted from the local table."""
+        return self._local.evictions
+
+    def shared_key(self, state: CrashState, key) -> bytes:
+        """Campaign-wide key: oracle context folded into the content address.
+
+        The local key's ``(syscall, mid, after)`` tuple is only meaningful
+        inside one workload; across workloads the same tuple names
+        different expectations.  The shared key replaces it with the
+        checker's :meth:`~ConsistencyChecker.context_digest` (the packed
+        tuple rides along so distinct contexts that happen to hash-collide
+        on expectations still separate), making key equality imply verdict
+        equality fleet-wide.
+        """
+        h = hashlib.sha1()
+        h.update(self.checker.context_digest(state))
+        h.update(key[0])
+        h.update(struct.pack(
+            ">iBi",
+            state.syscall if state.syscall is not None else -1,
+            1 if state.mid_syscall else 0,
+            state.after_syscall,
+        ))
+        return h.digest()
+
+    # -- shared-tier wrappers: any failure is a degraded miss, never a raise
+    def _shared_lookup(self, skey: bytes) -> Optional[str]:
+        try:
+            t0 = perf_counter()
+            verdict = self.shared.lookup(skey)
+            if self._tel is not None:
+                self._tel.observe(
+                    "checker.memo.shared.rtt_ms", (perf_counter() - t0) * 1e3
+                )
+            return verdict
+        except Exception:
+            self.shared_errors += 1
+            if self._tel is not None:
+                self._tel.count("checker.memo.shared.errors")
+            return None
+
+    def _shared_publish(self, skey: bytes, verdict: str) -> None:
+        try:
+            t0 = perf_counter()
+            self.shared.publish(skey, verdict)
+            if self._tel is not None:
+                self._tel.observe(
+                    "checker.memo.shared.rtt_ms", (perf_counter() - t0) * 1e3
+                )
+        except Exception:
+            self.shared_errors += 1
+            if self._tel is not None:
+                self._tel.count("checker.memo.shared.errors")
+
     def check(self, state: CrashState) -> Optional[List[BugReport]]:
         key = self.key_of(state)
         if self.delta and isinstance(state.image, CrashImage):
@@ -513,13 +659,11 @@ class CheckMemo:
                 self.noop_writes_dropped += dropped
                 if self._tel is not None:
                     self._tel.count("checker.memo.noop_writes_dropped", dropped)
-        if key in self._seen:
+        if self._local.lookup(key) is not None:
             self.hits += 1
             if self._counters is not None:
                 self._counters.hit()
             return None
-        self._seen.add(key)
-        self.misses += 1
         # On the delta path (and for flat images) the memo digest *is* the
         # canonical content key — hand it over so attribution never
         # re-flattens the overlay.
@@ -528,6 +672,29 @@ class CheckMemo:
             if self.delta or not isinstance(state.image, CrashImage)
             else None
         )
+        skey = None
+        if self.shared is not None and getattr(self.shared, "ok", True):
+            skey = self.shared_key(state, key)
+            if self._shared_lookup(skey) == CLEAN:
+                # Another workload/worker/host already checked these exact
+                # bytes under these exact expectations and found nothing.
+                # Clean-only: there are no reports to suppress, so skipping
+                # cannot change bugs.json.
+                self.hits += 1
+                self.shared_hits += 1
+                if self._counters is not None:
+                    self._counters.hit()
+                if self._tel is not None:
+                    self._tel.count("checker.memo.shared.hits")
+                self._local.publish(key, CLEAN)
+                # A shared hit is a hit, not a miss: seed the attribution
+                # universe (base + context now "seen") without a reason
+                # count, keeping sum(reasons) == misses structural.
+                self.attribution.note_shared_hit(state, ckey=precomputed)
+                return None
+            if self._tel is not None:
+                self._tel.count("checker.memo.shared.misses")
+        self.misses += 1
         reason = self.attribution.classify_miss(state, key[0], ckey=precomputed)
         if self._counters is not None:
             self._counters.miss()
@@ -540,5 +707,19 @@ class CheckMemo:
                 syscall=state.syscall_name or "",
                 n_replayed=state.n_replayed,
             ):
-                return self.checker.check(state)
-        return self.checker.check(state)
+                reports = self.checker.check(state)
+        else:
+            reports = self.checker.check(state)
+        verdict = BUGGY if reports else CLEAN
+        before = self._local.evictions
+        self._local.publish(key, verdict)
+        if self._tel is not None and self._local.evictions > before:
+            self._tel.count(
+                "checker.memo.evictions", self._local.evictions - before
+            )
+        if skey is not None and verdict == CLEAN:
+            # Only clean verdicts travel: a shared BUGGY entry could never
+            # be used to skip (buggy states always re-check locally), so
+            # publishing it would be pure table growth.
+            self._shared_publish(skey, CLEAN)
+        return reports

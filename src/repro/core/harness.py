@@ -60,6 +60,10 @@ class ChipmunkConfig:
     #: (:class:`repro.core.checker.CheckMemo`).  ``False`` falls back to
     #: eager whole-image sha1 dedup — same reports, eager cost.
     memoize: bool = True
+    #: Local check-memo bound: LRU cap on *clean* verdict entries per
+    #: workload memo (buggy entries are pinned — see
+    #: :class:`repro.memo.store.MemoTable`); 0 disables the bound.
+    memo_entries: int = 262144
     #: Crash-plan selection: ``"subset"`` enumerates capped store subsets
     #: per fence epoch (the paper's strategy); ``"mech"`` recognizes the
     #: persistence mechanism behind each epoch (:mod:`repro.mech`) and
@@ -139,6 +143,15 @@ class TestResult:
     #: Overlay writes dropped as no-ops before digesting
     #: (``checker.memo.noop_writes_dropped``).
     memo_noop_dropped: int = 0
+    #: Hits served by the campaign-wide shared memo service
+    #: (``checker.memo.shared.hits``); also counted in :attr:`memo_hits`.
+    memo_shared_hits: int = 0
+    #: Shared-service calls that failed and degraded to local misses
+    #: (``checker.memo.shared.errors``).
+    memo_shared_errors: int = 0
+    #: Clean entries LRU-evicted from the local memo
+    #: (``checker.memo.evictions``).
+    memo_evictions: int = 0
     #: Distinct recovered observable outcomes among the checked states —
     #: the numerator of the output-equivalence pruning headroom.
     n_unique_outcomes: int = 0
@@ -220,6 +233,9 @@ class TestResult:
             "memo_miss_reasons": dict(self.memo_miss_reasons),
             "memo_collisions": [list(c) for c in self.memo_collisions],
             "memo_noop_dropped": self.memo_noop_dropped,
+            "memo_shared_hits": self.memo_shared_hits,
+            "memo_shared_errors": self.memo_shared_errors,
+            "memo_evictions": self.memo_evictions,
             "n_unique_outcomes": self.n_unique_outcomes,
             "persistence": {k: dict(v) for k, v in self.persistence.items()},
             "store_regions": {k: dict(v) for k, v in self.store_regions.items()},
@@ -265,6 +281,9 @@ class TestResult:
                 for c in list(data.get("memo_collisions", []))
             ],
             memo_noop_dropped=int(data.get("memo_noop_dropped", 0)),
+            memo_shared_hits=int(data.get("memo_shared_hits", 0)),
+            memo_shared_errors=int(data.get("memo_shared_errors", 0)),
+            memo_evictions=int(data.get("memo_evictions", 0)),
             n_unique_outcomes=int(data.get("n_unique_outcomes", 0)),
             persistence={
                 str(k): {str(kk): int(vv) for kk, vv in dict(v).items()}
@@ -299,6 +318,7 @@ class Chipmunk:
         bugs: Optional[BugConfig] = None,
         config: Optional[ChipmunkConfig] = None,
         telemetry=None,
+        shared_memo=None,
     ) -> None:
         self.fs_class = lookup_fs_class(fs) if isinstance(fs, str) else fs
         self.bugs = bugs if bugs is not None else BugConfig.buggy(self.fs_class.name)
@@ -306,6 +326,11 @@ class Chipmunk:
         #: Telemetry sink (:class:`repro.obs.Telemetry`); defaults to the
         #: null object, which keeps the pipeline uninstrumented.
         self.telemetry = telemetry if telemetry is not None else NULL
+        #: Campaign-wide shared memo backend (a
+        #: :class:`repro.memo.client.MemoClient` or compatible); every
+        #: workload's :class:`CheckMemo` consults it for cross-workload
+        #: clean-verdict dedup.  None runs local-only.
+        self.shared_memo = shared_memo
 
     # ------------------------------------------------------------------
     def record(self, workload: Workload, setup: Workload = (), coverage=None) -> tuple:
@@ -433,7 +458,13 @@ class Chipmunk:
         # The memo is the single entry point for checking: dedup (by delta
         # digest or eager sha1, per ``config.memoize``), the ``check_state``
         # telemetry span, and the checker call all live behind it.
-        memo = CheckMemo(checker, telemetry=tel, delta=self.config.memoize)
+        memo = CheckMemo(
+            checker,
+            telemetry=tel,
+            delta=self.config.memoize,
+            shared=self.shared_memo,
+            max_entries=self.config.memo_entries,
+        )
         planner = None
         if self.config.crash_plans == "mech" and crash_points == "fence":
             # Mechanism recognition only prunes fence-epoch subsets; the
@@ -549,6 +580,9 @@ class Chipmunk:
                 [key, count] for key, count in memo.attribution.top_collisions()
             ],
             memo_noop_dropped=memo.noop_writes_dropped,
+            memo_shared_hits=memo.shared_hits,
+            memo_shared_errors=memo.shared_errors,
+            memo_evictions=memo.evictions,
             n_unique_outcomes=len(checker.outcome_digests),
             persistence=persistence,
             store_regions=store_regions,
@@ -627,6 +661,9 @@ class Chipmunk:
             memo_miss_reasons=result.memo_miss_reasons,
             memo_collisions=result.memo_collisions,
             memo_noop_dropped=result.memo_noop_dropped,
+            memo_shared_hits=result.memo_shared_hits,
+            memo_shared_errors=result.memo_shared_errors,
+            memo_evictions=result.memo_evictions,
             n_unique_outcomes=result.n_unique_outcomes,
             persistence=result.persistence,
             store_regions=result.store_regions,

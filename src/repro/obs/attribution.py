@@ -174,6 +174,26 @@ class MemoAttribution:
         self.reasons[reason] = self.reasons.get(reason, 0) + 1
         return reason
 
+    def note_shared_hit(self, state, ckey: Optional[bytes] = None) -> None:
+        """Record a state resolved by the *shared* memo tier.
+
+        A shared hit is a hit, not a miss, so no reason is counted —
+        ``sum(reasons) == misses`` stays structural.  But the state's base
+        and context are now "seen": without seeding them, a later local
+        miss of the same fence base would be misclassified as
+        ``cold_base`` (the base is anything but cold — the fleet has
+        checked states on it), inflating the unavoidable class and
+        understating memo headroom.  No ``_shapes`` entry is recorded: the
+        colliding-digest table tracks *checked* digests only.
+        """
+        image = state.image
+        context = (state.syscall, state.mid_syscall, state.after_syscall)
+        if ckey is None:
+            ckey = self.content_key(image)
+        if isinstance(image, CrashImage):
+            self._bases.add(image.base.digest)
+        self._contexts.setdefault(ckey, set()).add(context)
+
     # ------------------------------------------------------------------
     @property
     def total(self) -> int:

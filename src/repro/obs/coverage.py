@@ -123,6 +123,11 @@ class CoverageReport:
     memo_hits: int = 0
     memo_misses: int = 0
     memo_noop_dropped: int = 0
+    #: Hits served by the campaign-wide shared memo service (a subset of
+    #: :attr:`memo_hits`: cross-workload/cross-worker clean-verdict dedup).
+    memo_shared_hits: int = 0
+    #: Clean entries LRU-evicted from bounded local memos.
+    memo_evictions: int = 0
     miss_reasons: Dict[str, int] = field(default_factory=dict)
     #: content-key hex -> max distinct overlay shapes seen (per workload).
     collisions: Dict[str, int] = field(default_factory=dict)
@@ -156,6 +161,8 @@ class CoverageReport:
         self.memo_hits += int(fields.get("memo_hits", 0))
         self.memo_misses += int(fields.get("memo_misses", 0))
         self.memo_noop_dropped += int(fields.get("memo_noop_dropped", 0))
+        self.memo_shared_hits += int(fields.get("memo_shared_hits", 0))
+        self.memo_evictions += int(fields.get("memo_evictions", 0))
         self.unique_outcomes += int(fields.get("n_unique_outcomes", 0))
         self.fences_per_workload.append(int(fields.get("n_fences", 0)))
         for reason, n in dict(fields.get("memo_miss_reasons", {})).items():
@@ -274,6 +281,8 @@ class CoverageReport:
             "memo_misses": self.memo_misses,
             "memo_hit_rate": self.memo_hit_rate,
             "memo_noop_writes_dropped": self.memo_noop_dropped,
+            "memo_shared_hits": self.memo_shared_hits,
+            "memo_evictions": self.memo_evictions,
             "memo_miss_reasons": dict(self.miss_reasons),
             "memo_miss_reasons_consistent": self.attribution_consistent,
             "memo_collisions": sorted(
@@ -326,16 +335,25 @@ class CoverageReport:
         lines.append("## Crash-state space")
         lines.append("")
         lines.append(
-            f"| enumerated | checked | memo hits | memo hit-rate | "
-            f"unique outcomes |"
+            f"| enumerated | checked | memo hits | shared hits | "
+            f"memo hit-rate | unique outcomes |"
         )
-        lines.append("| ---: | ---: | ---: | ---: | ---: |")
+        lines.append("| ---: | ---: | ---: | ---: | ---: | ---: |")
         lines.append(
             f"| {self.states_enumerated} | {self.states_checked} | "
-            f"{self.memo_hits} | {self.memo_hit_rate * 100:.1f}% | "
+            f"{self.memo_hits} | {self.memo_shared_hits} | "
+            f"{self.memo_hit_rate * 100:.1f}% | "
             f"{self.unique_outcomes} |"
         )
         lines.append("")
+        if self.memo_shared_hits or self.memo_evictions:
+            lines.append(
+                f"The campaign-wide shared memo served "
+                f"{self.memo_shared_hits} clean-verdict hit(s) across "
+                f"workloads/workers; {self.memo_evictions} clean local "
+                f"entrie(s) were LRU-evicted under the memo bound."
+            )
+            lines.append("")
         if self.states_checked:
             lines.append(
                 f"Of {self.states_checked} checked states, only "

@@ -1,0 +1,202 @@
+"""Service integration: server/client round trips and the degradation path.
+
+The shared memo is an optimization layer, so the tests here split in two:
+the happy path (verdicts survive a socket round trip, the server rejects
+malformed requests without dying) and the *unhappy* path that the ISSUE
+makes non-negotiable — a dead or dying server must degrade workers to
+their local memo without changing campaign output.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.memo import BUGGY, CLEAN, MemoClient, MemoServer
+from repro.memo.client import parse_address
+from repro.memo.wire import recv_frame, send_frame
+
+K1 = b"\x01" * 20
+K2 = b"\x02" * 20
+
+
+@pytest.fixture
+def server():
+    srv = MemoServer()
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    c = MemoClient(server.address_str)
+    yield c
+    c.close()
+
+
+class TestParseAddress:
+    def test_round_trip(self):
+        assert parse_address("127.0.0.1:9009") == ("127.0.0.1", 9009)
+
+    @pytest.mark.parametrize(
+        "bad", ["localhost", ":9009", "host:", "host:abc", "host:0", "host:70000"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+class TestRoundTrip:
+    def test_lookup_miss_then_publish_then_hit(self, client):
+        assert client.lookup(K1) is None
+        assert client.publish(K1, CLEAN)
+        assert client.lookup(K1) == CLEAN
+
+    def test_buggy_verdict_round_trip(self, client):
+        client.publish(K2, BUGGY)
+        assert client.lookup(K2) == BUGGY
+
+    def test_ping_and_stats(self, client):
+        assert client.ping()
+        client.publish(K1, CLEAN)
+        stats = client.stats()
+        assert stats["entries"] == 1
+        assert stats["publishes"] == 1
+
+    def test_two_clients_share_one_table(self, server):
+        a = MemoClient(server.address_str)
+        b = MemoClient(server.address_str)
+        try:
+            a.publish(K1, CLEAN)
+            assert b.lookup(K1) == CLEAN
+        finally:
+            a.close()
+            b.close()
+
+    def test_concurrent_clients(self, server):
+        """Racing publishers converge: the table is shared and idempotent."""
+        errors = []
+
+        def hammer(seed):
+            c = MemoClient(server.address_str)
+            try:
+                for i in range(20):
+                    key = bytes([seed]) * 4 + struct.pack(">I", i % 5)
+                    c.publish(key, CLEAN)
+                    if c.lookup(key) != CLEAN:
+                        errors.append((seed, i))
+            finally:
+                c.close()
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # 4 seeds x 5 distinct suffixes, deduped across publishes.
+        assert server.table.stats()["entries"] == 20
+
+
+class TestServerValidation:
+    def _raw(self, server, request):
+        with socket.create_connection(server.address, timeout=2.0) as sock:
+            send_frame(sock, request)
+            return recv_frame(sock)
+
+    def test_unknown_op(self, server):
+        response = self._raw(server, {"op": "evict-everything"})
+        assert response["ok"] is False
+        assert "unknown op" in response["error"]
+
+    @pytest.mark.parametrize(
+        "key", [None, "", 7, "ab" * 200]  # missing, empty, non-str, oversized
+    )
+    def test_bad_key_rejected(self, server, key):
+        request = {"op": "lookup"}
+        if key is not None:
+            request["key"] = key
+        response = self._raw(server, request)
+        assert response == {"ok": False, "error": "bad key"}
+
+    def test_bad_verdict_rejected(self, server):
+        response = self._raw(
+            server, {"op": "publish", "key": K1.hex(), "verdict": "maybe"}
+        )
+        assert response["ok"] is False
+        assert "bad verdict" in response["error"]
+        assert len(server.table) == 0
+
+    def test_frame_error_drops_connection_not_server(self, server, client):
+        with socket.create_connection(server.address, timeout=2.0) as sock:
+            payload = b"not json at all"
+            sock.sendall(struct.pack(">I", len(payload)) + payload)
+            # The server closes this connection without replying ...
+            assert sock.recv(1) == b""
+        # ... and keeps serving everyone else.
+        assert client.ping()
+        assert server.frame_errors == 1
+
+
+class TestDegradation:
+    def test_dead_address_disables_client(self):
+        # Bind-then-close guarantees a refused port (nothing listening).
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = MemoClient(f"127.0.0.1:{port}", max_failures=3)
+        for _ in range(3):
+            assert client.lookup(K1) is None
+        assert not client.ok
+        assert client.errors >= 3
+        # Degraded calls are pure misses, instantly, forever.
+        assert client.lookup(K1) is None
+        assert not client.publish(K1, CLEAN)
+        assert client.stats() is None
+
+    def test_success_resets_failure_count(self, server):
+        client = MemoClient(server.address_str, max_failures=2)
+        try:
+            assert client.ping()
+            # Kill the persistent connection under the client: attempt one
+            # fails, attempt two reconnects — no consecutive failure.
+            client._sock.close()
+            assert client.ping()
+            assert client.ok
+        finally:
+            client.close()
+
+    def test_server_restart_survived_by_retry(self):
+        srv = MemoServer()
+        srv.start()
+        client = MemoClient(srv.address_str)
+        try:
+            assert client.ping()
+            host, port = srv.address
+            srv.stop()
+            # Same port, fresh table: the client's stale persistent socket
+            # fails once, and the in-call retry lands on the new server.
+            srv = MemoServer(host=host, port=port)
+            srv.start()
+            assert client.ping()
+            assert client.ok
+        finally:
+            client.close()
+            srv.stop()
+
+    def test_server_killed_mid_stream_degrades(self):
+        srv = MemoServer()
+        srv.start()
+        client = MemoClient(srv.address_str, max_failures=3)
+        try:
+            assert client.publish(K1, CLEAN)
+            srv.stop()
+            for _ in range(3):
+                assert client.lookup(K1) is None
+            assert not client.ok
+        finally:
+            client.close()
+            srv.stop()

@@ -1,0 +1,234 @@
+"""CheckMemo's shared tier, exercised against in-memory fake backends.
+
+The contract under test is the ISSUE's non-negotiable: *a shared hit can
+never mask a bug*.  Structurally that means (1) only a CLEAN shared
+verdict may skip a check — a BUGGY one, even a wrong one, must leave the
+local check path untouched; (2) any backend misbehavior (exceptions, a
+dead client) degrades to plain local memoization; (3) the shared key
+folds the oracle's expectations, so byte-identical images judged against
+different expectations never cross-hit; and (4) the attribution invariant
+``sum(reasons) == misses`` survives shared hits.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.checker import CheckMemo, ConsistencyChecker
+from repro.core.harness import Chipmunk
+from repro.core.oracle import run_oracle
+from repro.core.replayer import enumerate_crash_states
+from repro.fs.bugs import BugConfig
+from repro.memo.store import BUGGY, CLEAN
+from repro.workloads.ops import Op
+
+
+class FakeShared:
+    """Dict-backed stand-in for MemoClient (same ok/lookup/publish surface)."""
+
+    def __init__(self, verdict=None, ok=True):
+        self.table = {}
+        self.ok = ok
+        self.forced_verdict = verdict
+        self.lookups = 0
+        self.publishes = 0
+
+    def lookup(self, key):
+        self.lookups += 1
+        if self.forced_verdict is not None:
+            return self.forced_verdict
+        return self.table.get(key)
+
+    def publish(self, key, verdict):
+        self.publishes += 1
+        self.table.setdefault(key, verdict)
+        return True
+
+
+class RaisingShared(FakeShared):
+    """A backend whose every call blows up (server vanished mid-call)."""
+
+    def lookup(self, key):
+        raise ConnectionResetError("boom")
+
+    def publish(self, key, verdict):
+        raise ConnectionResetError("boom")
+
+
+WORKLOAD = [Op("mkdir", ("/A",)), Op("creat", ("/A/f",))]
+
+
+def fresh_memo(cm, shared=None, max_entries=0, bugs=None):
+    """A CheckMemo over a fresh checker for WORKLOAD (one per 'workload')."""
+    bugs = bugs if bugs is not None else cm.bugs
+    oracle = run_oracle(cm.fs_class, WORKLOAD, cm.config.device_size, bugs=bugs)
+    checker = ConsistencyChecker(cm.fs_class, oracle, "w", bugs=bugs)
+    return CheckMemo(checker, shared=shared, max_entries=max_entries)
+
+
+def run_states(cm, memo):
+    """Check every crash state of WORKLOAD; returns the flat report list."""
+    base, log, _ = cm.record(WORKLOAD)
+    reports = []
+    for state in enumerate_crash_states(base, log):
+        found = memo.check(state)
+        if found:
+            reports.extend(found)
+    return reports
+
+
+class TestCleanSharedHits:
+    def test_second_workload_skips_clean_states(self):
+        """Workload two, sharing workload one's table, shared-hits every
+        clean state workload one published — and reports nothing less."""
+        cm = Chipmunk("nova", bugs=BugConfig.fixed())
+        shared = FakeShared()
+        first = fresh_memo(cm, shared=shared)
+        baseline = run_states(cm, first)
+        assert first.shared_hits == 0  # cold service: nothing to hit
+        assert shared.publishes > 0
+        assert all(v == CLEAN for v in shared.table.values())
+
+        second = fresh_memo(cm, shared=shared)
+        again = run_states(cm, second)
+        assert again == baseline == []
+        assert second.shared_hits > 0
+        assert second.shared_hits + second.misses + (
+            second.hits - second.shared_hits
+        ) == first.hits + first.misses
+        # Shared hits are hits, and they seed the local table too.
+        assert second.hits >= second.shared_hits
+
+    def test_only_clean_verdicts_are_published(self):
+        """A buggy run publishes only its clean states to the service:
+        BUGGY entries can never be used to skip, so shipping them would be
+        pure table growth."""
+        cm = Chipmunk("nova")  # default bug config: states will be buggy
+        shared = FakeShared()
+        memo = fresh_memo(cm, shared=shared)
+        reports = run_states(cm, memo)
+        assert reports  # the point of the default config
+        assert all(v == CLEAN for v in shared.table.values())
+
+
+class TestBuggyNeverSkips:
+    def test_forced_buggy_verdict_changes_nothing(self):
+        """Even a shared table claiming *everything* is buggy must not
+        perturb the check path: reports match a shared-less run exactly."""
+        cm = Chipmunk("nova")
+        reference = run_states(cm, fresh_memo(cm, shared=None))
+        shared = FakeShared(verdict=BUGGY)
+        memo = fresh_memo(cm, shared=shared)
+        assert run_states(cm, memo) == reference
+        assert memo.shared_hits == 0
+        assert shared.lookups > 0  # the tier was consulted, not bypassed
+
+    def test_forced_clean_verdict_only_skips(self):
+        """The dual: a table claiming everything is clean suppresses all
+        reports — which is exactly why CheckMemo only trusts a CLEAN
+        verdict when key equality *proves* it (covered by the campaign
+        equivalence tests); here it pins the skip semantics."""
+        cm = Chipmunk("nova")
+        memo = fresh_memo(cm, shared=FakeShared(verdict=CLEAN))
+        assert run_states(cm, memo) == []
+        assert memo.misses == 0
+        # Every hit is shared or served by the local entry a shared hit
+        # seeded; nothing was ever actually checked.
+        assert memo.shared_hits > 0
+        assert memo.hits >= memo.shared_hits
+
+
+class TestDegradation:
+    def test_raising_backend_degrades_to_local(self):
+        cm = Chipmunk("nova")
+        reference = run_states(cm, fresh_memo(cm, shared=None))
+        memo = fresh_memo(cm, shared=RaisingShared())
+        assert run_states(cm, memo) == reference
+        assert memo.shared_errors > 0
+        assert memo.shared_hits == 0
+
+    def test_dead_client_is_never_consulted(self):
+        cm = Chipmunk("nova")
+        shared = FakeShared(ok=False)
+        memo = fresh_memo(cm, shared=shared)
+        run_states(cm, memo)
+        assert shared.lookups == 0
+        assert shared.publishes == 0
+        assert memo.shared_errors == 0
+
+
+class TestContextSeparation:
+    @dataclass(frozen=True)
+    class S:
+        syscall: object = None
+        mid_syscall: bool = False
+        after_syscall: int = -1
+
+    def _checker(self, cm, workload):
+        oracle = run_oracle(
+            cm.fs_class, workload, cm.config.device_size, bugs=cm.bugs
+        )
+        return ConsistencyChecker(cm.fs_class, oracle, "w", bugs=cm.bugs)
+
+    def test_different_expectations_different_digest(self):
+        """creat and mkdir leave different post-op trees: a byte-identical
+        crash image checked after syscall 0 must not cross-hit between
+        those workloads."""
+        cm = Chipmunk("nova")
+        a = self._checker(cm, [Op("creat", ("/A",))])
+        b = self._checker(cm, [Op("mkdir", ("/A",))])
+        post0 = self.S(after_syscall=0)
+        assert a.context_digest(post0) != b.context_digest(post0)
+
+    def test_identical_expectations_identical_digest(self):
+        """Two independent checkers over the same workload agree — the
+        digest is a pure function of fs/bugs/expectations, which is what
+        makes shared keys portable across workers and hosts."""
+        cm = Chipmunk("nova")
+        a = self._checker(cm, [Op("creat", ("/A",))])
+        b = self._checker(cm, [Op("creat", ("/A",))])
+        for state in (
+            self.S(),  # pre-workload image
+            self.S(after_syscall=0),
+            self.S(syscall=0, mid_syscall=True),
+        ):
+            assert a.context_digest(state) == b.context_digest(state)
+
+    def test_mid_and_post_contexts_separate(self):
+        cm = Chipmunk("nova")
+        a = self._checker(cm, [Op("creat", ("/A",))])
+        assert a.context_digest(self.S(syscall=0, mid_syscall=True)) != \
+            a.context_digest(self.S(after_syscall=0))
+
+    def test_bug_config_folds_into_digest(self):
+        cm_buggy = Chipmunk("nova")
+        cm_fixed = Chipmunk("nova", bugs=BugConfig.fixed())
+        a = self._checker(cm_buggy, [Op("creat", ("/A",))])
+        b = self._checker(cm_fixed, [Op("creat", ("/A",))])
+        assert a.context_digest(self.S()) != b.context_digest(self.S())
+
+
+class TestBoundedLocalTier:
+    def test_tiny_cap_preserves_reports(self):
+        """An LRU cap small enough to thrash constantly may re-check clean
+        states, but buggy pinning keeps the report stream byte-identical."""
+        cm = Chipmunk("nova")
+        unbounded = run_states(cm, fresh_memo(cm, max_entries=0))
+        tiny = fresh_memo(cm, max_entries=1)
+        assert run_states(cm, tiny) == unbounded
+        assert tiny.evictions > 0
+
+
+class TestAttributionInvariant:
+    def test_sum_reasons_equals_misses_with_shared_hits(self):
+        """A shared hit is a hit: it seeds the attribution universe but
+        counts no miss reason, so the invariant stays exact — and a state
+        *derived* from a shared-hit base classifies as new_content, never
+        cold_base."""
+        cm = Chipmunk("nova", bugs=BugConfig.fixed())
+        shared = FakeShared()
+        run_states(cm, fresh_memo(cm, shared=shared))
+        memo = fresh_memo(cm, shared=shared)
+        run_states(cm, memo)
+        assert memo.shared_hits > 0
+        assert sum(memo.attribution.reasons.values()) == memo.misses
+        assert memo.attribution.total == memo.misses
+        assert memo.attribution.reasons.get("cold_base", 0) == 0

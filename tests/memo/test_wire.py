@@ -1,0 +1,118 @@
+"""Wire-protocol units: framing survives round trips and rejects garbage.
+
+The memo protocol is length-prefixed JSON over a stream socket.  The
+failure modes worth pinning are the ones a real campaign can hit: a peer
+dying mid-frame (torn frame), a confused client sending an oversized
+header (rejected without reading the body), and a clean shutdown (EOF
+between frames means "done", not "error").
+"""
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.memo.wire import MAX_FRAME, FrameError, recv_frame, send_frame
+
+
+def pair():
+    return socket.socketpair()
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        a, b = pair()
+        try:
+            send_frame(a, {"op": "ping"})
+            assert recv_frame(b) == {"op": "ping"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_in_sequence(self):
+        a, b = pair()
+        try:
+            for i in range(5):
+                send_frame(a, {"seq": i, "key": "ab" * 20})
+            for i in range(5):
+                assert recv_frame(b) == {"seq": i, "key": "ab" * 20}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = pair()
+        try:
+            send_frame(a, {"op": "last"})
+            a.close()
+            assert recv_frame(b) == {"op": "last"}
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+
+class TestRejection:
+    def test_oversized_send_refused_locally(self):
+        a, b = pair()
+        try:
+            with pytest.raises(FrameError):
+                send_frame(a, {"pad": "x" * (MAX_FRAME + 1)})
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_header_rejected_without_reading_body(self):
+        """A hostile/buggy peer declaring a huge frame is rejected from the
+        4-byte header alone — the receiver must not try to buffer the body."""
+        a, b = pair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME + 1))
+            with pytest.raises(FrameError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_torn_frame_raises(self):
+        """EOF *inside* a frame is a protocol error, not a clean close."""
+        a, b = pair()
+        try:
+            payload = json.dumps({"op": "lookup"}).encode()
+            a.sendall(struct.pack(">I", len(payload)) + payload[: len(payload) // 2])
+            a.close()
+            with pytest.raises(FrameError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_torn_header_raises(self):
+        a, b = pair()
+        try:
+            a.sendall(b"\x00\x00")
+            a.close()
+            with pytest.raises(FrameError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_empty_frame_rejected(self):
+        a, b = pair()
+        try:
+            a.sendall(struct.pack(">I", 0))
+            with pytest.raises(FrameError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    @pytest.mark.parametrize("body", [b"not json", b"[1, 2]", b'"str"'])
+    def test_non_dict_payload_rejected(self, body):
+        a, b = pair()
+        try:
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(FrameError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
